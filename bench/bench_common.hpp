@@ -1,0 +1,82 @@
+// Shared helpers for the experiment harnesses (bench_t*/bench_f*).
+//
+// Each bench binary reproduces one table/figure derived from a claim of the
+// paper (DESIGN.md §3 maps experiment ids to claims); the helpers here keep
+// the workload construction and result summaries consistent across them.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "counting/common.hpp"
+#include "graph/generators.hpp"
+#include "sim/byzantine.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace bzc::bench {
+
+/// Deterministic workload graph for experiment `tag`, size n, degree d.
+inline Graph makeHnd(NodeId n, NodeId d, std::uint64_t tag) {
+  Rng rng(0x9e3779b9 ^ (tag * 1000003ULL + n * 31ULL + d));
+  return hnd(n, d, rng);
+}
+
+inline ByzantineSet placeFor(const Graph& g, Placement kind, std::size_t count,
+                             std::uint64_t tag, NodeId victim = 0,
+                             std::uint32_t moatRadius = 1) {
+  PlacementSpec spec;
+  spec.kind = kind;
+  spec.count = count;
+  spec.victim = victim;
+  spec.moatRadius = moatRadius;
+  Rng rng(0x51ed270 ^ tag);
+  return placeByzantine(g, spec, rng);
+}
+
+/// Estimate summary of a counting run over the honest nodes.
+struct EstimateSummary {
+  std::size_t honest = 0;
+  std::size_t decided = 0;
+  double fracDecided = 0.0;
+  double minEst = 0.0;
+  double meanEst = 0.0;
+  double maxEst = 0.0;
+  double meanRatio = 0.0;  ///< mean estimate / ln n
+};
+
+inline EstimateSummary summarize(const CountingResult& result, const ByzantineSet& byz,
+                                 NodeId n) {
+  EstimateSummary s;
+  RunningStat stat;
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u)) continue;
+    ++s.honest;
+    if (!result.decisions[u].decided) continue;
+    ++s.decided;
+    stat.add(result.decisions[u].estimate);
+  }
+  if (s.honest > 0) s.fracDecided = static_cast<double>(s.decided) / s.honest;
+  if (s.decided > 0) {
+    s.minEst = stat.min();
+    s.meanEst = stat.mean();
+    s.maxEst = stat.max();
+    s.meanRatio = stat.mean() / std::log(static_cast<double>(n));
+  }
+  return s;
+}
+
+inline std::string passFail(bool ok) { return ok ? "yes" : "NO"; }
+
+/// Prints the standard experiment header.
+inline void experimentHeader(const std::string& id, const std::string& claim) {
+  printBanner(std::cout, id, claim);
+}
+
+inline void shapeCheck(const std::string& what, bool holds) {
+  std::cout << "shape check — " << what << ": " << (holds ? "HOLDS" : "VIOLATED") << '\n';
+}
+
+}  // namespace bzc::bench

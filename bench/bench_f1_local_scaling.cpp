@@ -1,0 +1,52 @@
+// F1 — Theorem 1 (time bound): Algorithm 1 finishes in O(log n) rounds.
+//
+// Series: benign runs across n; rounds-to-quiescence and mean estimate are
+// fit against ln n. Theorem 1 says both are Θ(log n) (≈ the diameter); a
+// linear fit with high R² and the diameter column tracking the rounds column
+// reproduce the figure.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "counting/local/protocol.hpp"
+#include "graph/bfs.hpp"
+
+int main() {
+  using namespace bzc;
+  using namespace bzc::bench;
+
+  experimentHeader("F1 — Theorem 1 scaling: rounds vs log n (benign, H(n,8))",
+                   "Algorithm 1 is time-optimal: decisions happen at ~diam(G)+1 = Θ(log n).");
+
+  Table table({"n", "ln n", "diam", "rounds", "est mean", "est/ln n"});
+  std::vector<double> logNs;
+  std::vector<double> rounds;
+  for (NodeId n : {128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    const Graph g = makeHnd(n, 8, 2);
+    const ByzantineSet none(n, {});
+    auto adversary = makeHonestLocalAdversary();
+    LocalParams params;
+    // Spectral checks cost O(view * iters) per node per round; the benign
+    // series only needs the ball-growth check (T8 ablates this choice).
+    params.checks.spectralEnabled = n <= 512;
+    Rng rng(20 + n);
+    const auto out = runLocalCounting(g, none, *adversary, params, rng);
+    const auto summary = summarize(out.result, none, n);
+    const double logN = std::log(static_cast<double>(n));
+    logNs.push_back(logN);
+    rounds.push_back(out.result.totalRounds);
+    table.addRow({Table::integer(n), Table::num(logN, 2),
+                  Table::integer(exactDiameter(g)), Table::integer(out.result.totalRounds),
+                  Table::num(summary.meanEst, 2), Table::num(summary.meanEst / logN, 3)});
+  }
+  table.print(std::cout);
+
+  const LinearFit fit = fitLinear(logNs, rounds);
+  std::cout << "linear fit: rounds = " << Table::num(fit.slope, 3) << " * ln n + "
+            << Table::num(fit.intercept, 3) << "   (R^2 = " << Table::num(fit.r2, 4) << ")\n";
+  // Rounds are integer-valued (4..8 across the sweep), so the fit carries
+  // quantisation noise; 0.85 is the meaningful linearity bar here.
+  shapeCheck("rounds grow linearly in log n (R^2 > 0.85)", fit.r2 > 0.85);
+  shapeCheck("slope is a small constant (< 2 rounds per ln-unit)", fit.slope < 2.0);
+  return 0;
+}

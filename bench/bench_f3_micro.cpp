@@ -1,0 +1,104 @@
+// F3 — Microbenchmarks (google-benchmark): the hot paths of the simulator.
+//
+// Not a paper claim; engineering support for the experiment harnesses. Keeps
+// an eye on: beacon-round cost, path-arena operations, view integration,
+// spectral sweeps, generators and PRNG draws.
+#include <benchmark/benchmark.h>
+
+#include "counting/beacon/path.hpp"
+#include "counting/beacon/protocol.hpp"
+#include "counting/local/view.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace bzc;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_GeometricFlips(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.geometricFlips());
+}
+BENCHMARK(BM_GeometricFlips);
+
+void BM_HndGenerate(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hnd(n, 8, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HndGenerate)->Arg(1024)->Arg(4096);
+
+void BM_PathArenaAppendWalk(benchmark::State& state) {
+  PathArena arena;
+  Rng rng(4);
+  for (auto _ : state) {
+    arena.clear();
+    PathRef p = kNoPath;
+    for (int i = 0; i < 16; ++i) p = arena.append(p, rng.next());
+    std::uint64_t acc = 0;
+    arena.walkPrefix(p, 2, [&](PublicId id) {
+      acc ^= id;
+      return true;
+    });
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_PathArenaAppendWalk);
+
+void BM_BeaconBenignRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng gen(5);
+  const Graph g = hnd(n, 8, gen);
+  const ByzantineSet none(n, {});
+  for (auto _ : state) {
+    Rng rng(6);
+    benchmark::DoNotOptimize(
+        runBeaconCounting(g, none, BeaconAttackProfile::none(), {}, {}, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BeaconBenignRun)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_ViewIntegrate(benchmark::State& state) {
+  const NodeId n = 1024;
+  Rng gen(7);
+  const Graph g = hnd(n, 8, gen);
+  Rng idRng(8);
+  const IdSpace ids(n, idRng);
+  const RecordPool pool(g, ids);
+  for (auto _ : state) {
+    LocalView view(&pool, 8);
+    view.installSelf(0);
+    for (NodeId v = 1; v < n; ++v) {
+      benchmark::DoNotOptimize(view.integrate(v, 1 + v / 64));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ViewIntegrate);
+
+void BM_FiedlerSweep(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng gen(9);
+  const Graph g = hnd(n, 8, gen);
+  for (auto _ : state) {
+    Rng rng(10);
+    benchmark::DoNotOptimize(fiedlerSweep(g, 50, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FiedlerSweep)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// T3 — Lemma 2: H(n,d) is locally tree-like at n - O(n^0.8) nodes.
+//
+// At radius r = log n / (10 log d), all but O(n^0.8) nodes see an exact
+// (d-1)-ary tree around them. The table measures the non-tree-like count
+// against C * n^0.8 and also reports the radius-2 fraction, whose n-scaling
+// (collisions ~ d^4/n) shows why the lemma's radius matters.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/tree_like.hpp"
+
+int main() {
+  using namespace bzc;
+  using namespace bzc::bench;
+
+  experimentHeader(
+      "T3 — Lemma 2: locally tree-like nodes in H(n,d)",
+      "'allowance' is 3 * n^0.8; Lemma 2 requires non-tree-like <= O(n^0.8) at radius\n"
+      "r = log n / (10 log d).");
+
+  Table table({"n", "d", "radius r", "tree-like", "non-tree-like", "allowance 3n^0.8",
+               "within", "radius-2 frac"});
+  bool allWithin = true;
+  for (NodeId d : {8u, 12u}) {
+    for (NodeId n : {1024u, 4096u, 16384u, 65536u}) {
+      const Graph g = makeHnd(n, d, 5);
+      const std::uint32_t r = treeLikeRadius(n, d);
+      const std::size_t treeLike = countTreeLike(g, r);
+      const std::size_t bad = n - treeLike;
+      const double allowance = 3.0 * std::pow(static_cast<double>(n), 0.8);
+      const bool within = static_cast<double>(bad) <= allowance;
+      allWithin = allWithin && within;
+      const double frac2 = static_cast<double>(countTreeLike(g, 2)) / n;
+      table.addRow({Table::integer(n), Table::integer(d), Table::integer(r),
+                    Table::integer(static_cast<long long>(treeLike)),
+                    Table::integer(static_cast<long long>(bad)), Table::num(allowance, 0),
+                    passFail(within), Table::percent(frac2)});
+    }
+  }
+  table.print(std::cout);
+  shapeCheck("non-tree-like nodes stay within O(n^0.8)", allWithin);
+  return 0;
+}

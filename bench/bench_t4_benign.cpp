@@ -1,0 +1,52 @@
+// T4 — Corollary 1: the benign case of Algorithm 2.
+//
+// Claim: with no Byzantine nodes the algorithm terminates in O(log n)
+// rounds (more precisely O(log² n) total rounds across the O(log n) phases
+// of O(log n)-round iterations), w.h.p. Ω(n) nodes decide on ~⌈log n⌉ (in
+// base-d phase units) and every node stops sending messages (quiescence).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "counting/beacon/protocol.hpp"
+
+int main() {
+  using namespace bzc;
+  using namespace bzc::bench;
+
+  experimentHeader(
+      "T4 — Corollary 1: benign termination of Algorithm 2 (H(n,8))",
+      "'phase spread' is max - min decided phase (Remark 2: estimates differ only by a\n"
+      "constant). 'rounds/ln² n' should be bounded by a constant across the sweep.");
+
+  Table table({"n", "log_d n", "est mean", "phase spread", "all decided", "quiesced", "rounds",
+               "rounds/ln^2 n", "beacons", "continue msgs"});
+  bool allQuiesced = true;
+  bool roundsPolylog = true;
+  bool spreadConstant = true;
+  for (NodeId n : {256u, 512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const Graph g = makeHnd(n, 8, 6);
+    const ByzantineSet none(n, {});
+    BeaconParams params;
+    Rng rng(600 + n);
+    const auto out = runBeaconCounting(g, none, BeaconAttackProfile::none(), params, {}, rng);
+    const auto summary = summarize(out.result, none, n);
+    const double logN = std::log(static_cast<double>(n));
+    const double spread = summary.maxEst - summary.minEst;
+    allQuiesced = allQuiesced && out.stats.quiesced && summary.fracDecided == 1.0;
+    roundsPolylog = roundsPolylog && out.result.totalRounds < 12.0 * logN * logN;
+    spreadConstant = spreadConstant && spread <= 2.0;
+    table.addRow({Table::integer(n), Table::num(logN / std::log(8.0), 2),
+                  Table::num(summary.meanEst, 2), Table::num(spread, 0),
+                  passFail(summary.fracDecided == 1.0), passFail(out.stats.quiesced),
+                  Table::integer(out.result.totalRounds),
+                  Table::num(out.result.totalRounds / (logN * logN), 2),
+                  Table::integer(static_cast<long long>(out.stats.beaconsGenerated)),
+                  Table::integer(static_cast<long long>(out.stats.continueMessages))});
+  }
+  table.print(std::cout);
+  shapeCheck("every node decides and the network quiesces", allQuiesced);
+  shapeCheck("total rounds stay O(log^2 n)", roundsPolylog);
+  shapeCheck("decided phases differ by at most a constant (Remark 2)", spreadConstant);
+  return 0;
+}

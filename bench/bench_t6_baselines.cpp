@@ -1,0 +1,97 @@
+// T6 — §1.2: the classic estimators are exact/accurate without Byzantine
+// nodes and collapse against a single one.
+//
+// Three baselines: geometric-max flooding, exponential support estimation,
+// spanning-tree converge-cast. For each: benign accuracy, then the damage a
+// single Byzantine node does, then the damage at the full B(n) budget.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "counting/baselines/geometric.hpp"
+#include "counting/baselines/spanning_tree.hpp"
+#include "counting/baselines/support_estimation.hpp"
+
+namespace {
+
+using namespace bzc;
+
+struct Row {
+  std::string protocol;
+  std::string attack;
+  std::size_t byzCount;
+  double meanRatio;      // mean estimate / ln n over honest nodes
+  double poisonedFrac;   // honest nodes whose ratio left [0.4, 2.5]
+  Round rounds;
+};
+
+Row measure(const std::string& protocol, const std::string& attack, const CountingResult& result,
+            const ByzantineSet& byz, NodeId n) {
+  Row row{protocol, attack, byz.count(), 0, 0, result.totalRounds};
+  const double logN = std::log(static_cast<double>(n));
+  std::size_t honest = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u)) continue;
+    ++honest;
+    const double ratio = result.decisions[u].estimate / logN;
+    row.meanRatio += ratio;
+    if (ratio < 0.4 || ratio > 2.5) row.poisonedFrac += 1.0;
+  }
+  row.meanRatio /= honest;
+  row.poisonedFrac /= honest;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bzc;
+  using namespace bzc::bench;
+
+  experimentHeader(
+      "T6 — §1.2 baselines: accurate benign, broken by one Byzantine node (n = 1024, H(n,8))",
+      "'poisoned' is the fraction of honest nodes whose estimate/ln n left [0.4, 2.5].\n"
+      "The spanning-tree baseline is exact benign (ratio 1.000); a single Byzantine\n"
+      "internal node suffices to poison the root's count for everyone.");
+
+  const NodeId n = 1024;
+  const Graph g = makeHnd(n, 8, 8);
+  const std::size_t budget = byzantineBudget(n, 0.55);
+  std::vector<Row> rows;
+
+  for (std::size_t b : {std::size_t{0}, std::size_t{1}, budget}) {
+    const auto byz = placeFor(g, b == 0 ? Placement::None : Placement::Random, b, 70 + b);
+    {
+      Rng rng(801 + b);
+      const auto result = runGeometricMax(
+          g, byz, b == 0 ? GeometricAttack::None : GeometricAttack::Inflate, {}, rng);
+      rows.push_back(measure("geometric-max", b == 0 ? "none" : "inflate", result, byz, n));
+    }
+    {
+      Rng rng(802 + b);
+      const auto result = runSupportEstimation(
+          g, byz, b == 0 ? SupportAttack::None : SupportAttack::ZeroInject, {}, rng);
+      rows.push_back(measure("support-estimation", b == 0 ? "none" : "zero-inject", result, byz, n));
+    }
+    {
+      const auto result =
+          runSpanningTreeCount(g, byz, b == 0 ? TreeAttack::None : TreeAttack::Inflate, {});
+      rows.push_back(measure("spanning-tree", b == 0 ? "none" : "inflate", result, byz, n));
+    }
+  }
+
+  Table table({"protocol", "attack", "B", "mean est/ln n", "poisoned", "rounds"});
+  bool benignAccurate = true;
+  bool oneByzBreaks = true;
+  for (const auto& row : rows) {
+    if (row.byzCount == 0) benignAccurate = benignAccurate && row.poisonedFrac < 0.05;
+    if (row.byzCount == 1) oneByzBreaks = oneByzBreaks && row.poisonedFrac > 0.9;
+    table.addRow({row.protocol, row.attack, Table::integer(static_cast<long long>(row.byzCount)),
+                  Table::num(row.meanRatio, 3), Table::percent(row.poisonedFrac),
+                  Table::integer(row.rounds)});
+  }
+  table.print(std::cout);
+  shapeCheck("all baselines accurate with zero Byzantine nodes", benignAccurate);
+  shapeCheck("a single Byzantine node poisons >90% of honest nodes", oneByzBreaks);
+  return 0;
+}

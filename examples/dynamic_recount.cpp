@@ -1,0 +1,73 @@
+// dynamic_recount: the motivating scenario of the paper's §1 — peer-to-peer
+// networks whose size changes over time ("the works of [5, 4] raised the
+// question of designing protocols ... when the network size is not known and
+// may even change over time").
+//
+//   ./dynamic_recount [seed]
+//
+// The overlay grows through three epochs (churn-in of fresh peers, overlay
+// re-randomised as H(n,d) after each join wave, as self-healing overlays
+// do); each epoch simply re-runs Byzantine counting. Because the protocol
+// needs no global knowledge at all, re-estimation is a pure re-run — the
+// estimates track the growth while the Byzantine population scales with it.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "counting/beacon/protocol.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bzc;
+  const std::uint64_t seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 9;
+
+  Rng rng(seed);
+  Table table({"epoch", "n", "ln n", "B", "frac decided", "est mean", "est/ln n", "rounds"});
+  double prevMean = 0.0;
+  bool tracked = true;
+  // 8x growth per epoch = exactly one d=8 phase unit: visible through the
+  // integer quantisation of the decided phase.
+  NodeId n = 512;
+  for (int epoch = 1; epoch <= 3; ++epoch, n *= 8) {
+    Rng topoRng = rng.fork(10 * epoch);
+    const Graph g = hnd(n, 8, topoRng);
+    const std::size_t b = byzantineBudget(n, 0.55);
+    Rng placeRng = rng.fork(10 * epoch + 1);
+    const auto byz =
+        placeByzantine(g, {.kind = Placement::Random, .count = b}, placeRng);
+    BeaconLimits limits;
+    limits.maxPhase =
+        static_cast<std::uint32_t>(std::ceil(std::log(static_cast<double>(n)))) + 3;
+    Rng runRng = rng.fork(10 * epoch + 2);
+    // The path tamperer keeps an active adversary in every epoch without
+    // pinning the estimate at the blacklist-exhaustion phase the way the
+    // flooder does (see F2's saturation discussion).
+    const auto out =
+        runBeaconCounting(g, byz, BeaconAttackProfile::tamperer(), {}, limits, runRng);
+
+    double mean = 0;
+    std::size_t decided = 0;
+    std::size_t honest = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (byz.contains(u)) continue;
+      ++honest;
+      if (!out.result.decisions[u].decided) continue;
+      ++decided;
+      mean += out.result.decisions[u].estimate;
+    }
+    mean /= static_cast<double>(decided);
+    const double logN = std::log(static_cast<double>(n));
+    table.addRow({Table::integer(epoch), Table::integer(n), Table::num(logN, 2),
+                  Table::integer(static_cast<long long>(b)),
+                  Table::percent(static_cast<double>(decided) / honest), Table::num(mean, 2),
+                  Table::num(mean / logN, 2), Table::integer(out.result.totalRounds)});
+    if (epoch > 1 && mean < prevMean + 0.4) tracked = false;
+    prevMean = mean;
+  }
+  table.print(std::cout);
+  std::cout << "\nEstimates " << (tracked ? "track" : "FAIL to track")
+            << " the 64x growth across epochs — no node ever knew n, no configuration\n"
+            << "was updated between epochs; counting is a pure function of the overlay.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// impossibility_gadget: build and inspect the Theorem 3 construction — t
+// copies of a low-expansion graph glued at a single Byzantine hub — and
+// watch any estimator fail on it.
+//
+//   ./impossibility_gadget [copy-size m] [copies t] [--dot]
+//
+// With --dot the gadget is printed in Graphviz format (hub highlighted), so
+// you can render the proof's picture:   ./impossibility_gadget 12 3 --dot | dot -Tpng ...
+#include <cmath>
+#include <cstring>
+#include <iostream>
+
+#include "counting/baselines/geometric.hpp"
+#include "counting/beacon/protocol.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bzc;
+  const NodeId m = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 96;
+  const NodeId t = argc > 2 ? static_cast<NodeId>(std::atoi(argv[2])) : 6;
+  const bool wantDot = argc > 3 && std::strcmp(argv[3], "--dot") == 0;
+
+  const Graph gadget = gluedCopies(ring(m), 0, t);
+  if (wantDot) {
+    std::cout << toDot(gadget, {0});
+    return 0;
+  }
+
+  const NodeId n = gadget.numNodes();
+  const ByzantineSet byz(n, {0});  // the shared hub is the one Byzantine node
+  Rng sweepRng(1);
+  const SweepCut cut = fiedlerSweep(gadget, 250, sweepRng);
+
+  std::cout << "gadget: " << t << " rings of " << m << " nodes glued at one Byzantine hub\n"
+            << "n = " << n << " (ln n = " << Table::num(std::log(static_cast<double>(n)), 2)
+            << "), vertex-expansion upper bound " << Table::num(cut.expansion, 4)
+            << " (cut of " << cut.outSize << " around " << cut.smallSide << " nodes)\n\n";
+
+  // Run two estimators; group honest estimates per copy.
+  Rng geoRng(2);
+  const auto geo = runGeometricMax(gadget, byz, GeometricAttack::Suppress, {}, geoRng);
+  BeaconLimits limits;
+  limits.maxPhase = 40;
+  Rng beaconRng(3);
+  const auto beacon =
+      runBeaconCounting(gadget, byz, BeaconAttackProfile::suppressor(), {}, limits, beaconRng);
+
+  Table table({"copy", "geometric est (ln-scale)", "beacon est (phase)", "nodes"});
+  const NodeId perCopy = m - 1;
+  for (NodeId c = 0; c < t; ++c) {
+    double geoMean = 0;
+    double beaconMean = 0;
+    std::size_t count = 0;
+    for (NodeId local = 0; local < perCopy; ++local) {
+      const NodeId u = 1 + c * perCopy + local;
+      if (!geo.decisions[u].decided) continue;
+      geoMean += geo.decisions[u].estimate;
+      beaconMean += beacon.result.decisions[u].decided ? beacon.result.decisions[u].estimate : 0;
+      ++count;
+    }
+    table.addRow({Table::integer(c), Table::num(geoMean / count, 2),
+                  Table::num(beaconMean / count, 2), Table::integer(count)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEach copy sees only itself: estimates cluster at the copy scale ln(m) = "
+            << Table::num(std::log(static_cast<double>(m)), 2)
+            << ", not at ln(n). No expansion, no counting — Theorem 3 in action.\n"
+            << "Swap the ring for an expander of the same total size and the estimates\n"
+            << "snap to ln n (see bench_t5_impossibility's control row).\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "agreement/majority.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agreement/random_walk.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
+                                      const std::vector<double>& estimates,
+                                      const AgreementParams& params, Rng& rng) {
+  const NodeId n = g.numNodes();
+  BZC_REQUIRE(byz.numNodes() == n, "byzantine set size mismatch");
+  BZC_REQUIRE(estimates.size() == n, "estimate vector size mismatch");
+  BZC_REQUIRE(params.initialOnesFraction >= 0.0 && params.initialOnesFraction <= 1.0,
+              "initial fraction out of range");
+
+  AgreementOutcome out;
+  std::vector<std::uint8_t> value(n, 0);
+  std::vector<std::uint32_t> walkLen(n, 1);
+  std::vector<std::uint32_t> iters(n, 0);
+  std::uint32_t maxIters = 0;
+
+  std::size_t ones = 0;
+  std::size_t honest = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u)) continue;
+    ++honest;
+    value[u] = rng.bernoulli(params.initialOnesFraction) ? 1 : 0;
+    ones += value[u];
+    const double L = std::max(1.0, estimates[u]);
+    walkLen[u] = static_cast<std::uint32_t>(std::ceil(params.walkLengthFactor * L));
+    iters[u] = static_cast<std::uint32_t>(std::ceil(params.iterationFactor * L));
+    maxIters = std::max(maxIters, iters[u]);
+    out.logicalRounds =
+        std::max(out.logicalRounds, static_cast<Round>(iters[u] * (2 * walkLen[u] + 1)));
+  }
+  out.honestCount = honest;
+  out.initialMajority = (2 * ones >= honest) ? 1 : 0;
+
+  std::vector<std::uint8_t> next(n, 0);
+  for (std::uint32_t it = 0; it < maxIters; ++it) {
+    // Adaptive adversary: compromised samples report the current honest
+    // minority value, the maximally disruptive answer.
+    std::size_t curOnes = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!byz.contains(u)) curOnes += value[u];
+    }
+    const std::uint8_t adversarial = (2 * curOnes >= honest) ? 0 : 1;
+    next = value;
+    for (NodeId u = 0; u < n; ++u) {
+      if (byz.contains(u) || it >= iters[u]) continue;
+      int tally = value[u];
+      for (int s = 0; s < 2; ++s) {
+        const WalkSample sample = sampleViaWalk(g, byz, u, walkLen[u], rng);
+        if (sample.compromised || byz.contains(sample.endpoint)) {
+          ++out.compromisedSamples;
+          tally += adversarial;
+        } else {
+          tally += value[sample.endpoint];
+        }
+      }
+      next[u] = tally >= 2 ? 1 : 0;
+    }
+    value.swap(next);
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u)) continue;
+    if (value[u] == out.initialMajority) ++out.agreeingWithMajority;
+  }
+  out.fracAgreeing = honest > 0
+                         ? static_cast<double>(out.agreeingWithMajority) / static_cast<double>(honest)
+                         : 0.0;
+  return out;
+}
+
+AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
+                                      double uniformEstimate, const AgreementParams& params,
+                                      Rng& rng) {
+  return runMajorityAgreement(g, byz, std::vector<double>(g.numNodes(), uniformEstimate), params,
+                              rng);
+}
+
+}  // namespace bzc

@@ -1,0 +1,58 @@
+// Almost-everywhere binary Byzantine agreement via sampling + majority
+// (the protocol of [3] sketched in the paper's §1.1).
+//
+// Each node holds a bit. Per iteration, every honest node samples two nodes
+// through random walks of Θ(log n) steps and replaces its bit with the
+// majority of {own, sample1, sample2}. O(log n) iterations converge to
+// almost-everywhere agreement on a value some good node held, provided
+// B = O(√n) and — crucially — nodes know a constant-factor upper bound L on
+// log n to size the walks and the iteration count. The Byzantine adversary
+// here is adaptive: compromised samples always return the current honest
+// minority bit, the answer that maximally slows convergence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/byzantine.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+struct AgreementParams {
+  // L is a ln-scale estimate; the mixing time of a d-regular expander is
+  // ~log_d n = L / ln d, so factor 1.0 already walks ~2x the mixing time.
+  double walkLengthFactor = 1.0;  ///< walk length = ceil(factor * L_u)
+  double iterationFactor = 2.0;   ///< iterations  = ceil(factor * L_u)
+  double initialOnesFraction = 0.7;  ///< honest inputs: fraction holding 1
+};
+
+struct AgreementOutcome {
+  std::size_t honestCount = 0;
+  std::size_t agreeingWithMajority = 0;  ///< honest nodes ending on the initial honest majority
+  double fracAgreeing = 0.0;
+  int initialMajority = 1;
+  Round logicalRounds = 0;  ///< iterations * (2*walkLen + 1), worst node
+  std::uint64_t compromisedSamples = 0;
+
+  /// Definition-style success: at least (1-beta) of honest nodes agree.
+  [[nodiscard]] bool almostEverywhere(double beta) const {
+    return fracAgreeing >= 1.0 - beta;
+  }
+};
+
+/// Runs the protocol with per-node estimates L_u of log n (nodes with larger
+/// estimates keep iterating after the others freeze, as happens when the
+/// estimates come from a counting protocol). Byzantine nodes answer sample
+/// queries adversarially.
+[[nodiscard]] AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
+                                                    const std::vector<double>& estimates,
+                                                    const AgreementParams& params, Rng& rng);
+
+/// Convenience overload: every honest node uses the same estimate L.
+[[nodiscard]] AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
+                                                    double uniformEstimate,
+                                                    const AgreementParams& params, Rng& rng);
+
+}  // namespace bzc

@@ -1,0 +1,26 @@
+#include "agreement/pipeline.hpp"
+
+namespace bzc {
+
+PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz,
+                                         const BeaconAttackProfile& attack,
+                                         const PipelineParams& params, Rng& rng) {
+  PipelineOutcome out;
+  Rng countRng = rng.fork(0xc0);
+  out.counting = runBeaconCounting(g, byz, attack, params.counting, params.countingLimits,
+                                   countRng);
+
+  std::vector<double> estimates(g.numNodes(), params.fallbackEstimate);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (byz.contains(u)) continue;
+    const DecisionRecord& rec = out.counting.result.decisions[u];
+    if (rec.decided) estimates[u] = params.estimateSafetyFactor * rec.estimate;
+  }
+
+  Rng agreeRng = rng.fork(0xa9);
+  out.agreement = runMajorityAgreement(g, byz, estimates, params.agreement, agreeRng);
+  out.totalRounds = out.counting.result.totalRounds + out.agreement.logicalRounds;
+  return out;
+}
+
+}  // namespace bzc

@@ -1,0 +1,34 @@
+// Counting -> agreement composition (the paper's §1.1 application).
+//
+// "Using the Byzantine counting protocol of this paper as a preprocessing
+// step, the [knowledge-of-log n] assumption can be removed." The pipeline
+// runs Algorithm 2, hands every honest node its *own* decided estimate
+// (estimates differ across nodes by a constant factor — exactly the
+// situation the paper argues is fine), scales them by a safety factor, and
+// runs the sampling+majority agreement on top.
+#pragma once
+
+#include "agreement/majority.hpp"
+#include "counting/beacon/protocol.hpp"
+
+namespace bzc {
+
+struct PipelineParams {
+  BeaconParams counting;
+  BeaconLimits countingLimits;
+  AgreementParams agreement;
+  double estimateSafetyFactor = 2.0;  ///< L_u := factor * decided phase
+  double fallbackEstimate = 4.0;      ///< for nodes that never decided
+};
+
+struct PipelineOutcome {
+  BeaconOutcome counting;
+  AgreementOutcome agreement;
+  Round totalRounds = 0;  ///< counting rounds + agreement logical rounds
+};
+
+[[nodiscard]] PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz,
+                                                       const BeaconAttackProfile& attack,
+                                                       const PipelineParams& params, Rng& rng);
+
+}  // namespace bzc

@@ -1,0 +1,47 @@
+#include "agreement/random_walk.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+WalkSample sampleViaWalk(const Graph& g, const ByzantineSet& byz, NodeId start,
+                         std::uint32_t length, Rng& rng) {
+  BZC_REQUIRE(start < g.numNodes(), "walk start out of range");
+  WalkSample sample;
+  NodeId cur = start;
+  bool compromised = byz.contains(cur);
+  for (std::uint32_t step = 0; step < length; ++step) {
+    const auto nbrs = g.neighbors(cur);
+    if (nbrs.empty()) break;
+    cur = nbrs[rng.uniform(nbrs.size())];
+    compromised = compromised || byz.contains(cur);
+  }
+  sample.endpoint = cur;
+  sample.compromised = compromised;
+  return sample;
+}
+
+double walkEndpointTvDistance(const Graph& g, NodeId start, std::uint32_t length,
+                              std::size_t samples, Rng& rng) {
+  BZC_REQUIRE(samples > 0, "need at least one sample");
+  const NodeId n = g.numNodes();
+  std::vector<double> counts(n, 0.0);
+  const ByzantineSet none(n, {});
+  for (std::size_t s = 0; s < samples; ++s) {
+    counts[sampleViaWalk(g, none, start, length, rng).endpoint] += 1.0;
+  }
+  double totalDegree = 0.0;
+  for (NodeId u = 0; u < n; ++u) totalDegree += g.degree(u);
+  double tv = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    const double empirical = counts[u] / static_cast<double>(samples);
+    const double stationary = static_cast<double>(g.degree(u)) / totalDegree;
+    tv += std::abs(empirical - stationary);
+  }
+  return tv / 2.0;
+}
+
+}  // namespace bzc

@@ -1,0 +1,33 @@
+// Random-walk sampling with Byzantine interference.
+//
+// The agreement protocol of Augustine–Pandurangan–Robinson (the paper's §1.1
+// application) samples nodes ~uniformly by running random walks of
+// Θ(mixing time) = Θ(log n) steps on the expander. A walk that touches a
+// Byzantine node is compromised: the adversary answers the sample query with
+// whatever value damages convergence most. Knowing (an upper bound on)
+// log n is exactly what makes the walk length safe — which is why Byzantine
+// counting is a useful preprocessing step.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sim/byzantine.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+struct WalkSample {
+  NodeId endpoint = kNoNode;
+  bool compromised = false;  ///< walk visited a Byzantine node
+};
+
+/// Walks `length` uniform steps from `start`; flags Byzantine contact.
+[[nodiscard]] WalkSample sampleViaWalk(const Graph& g, const ByzantineSet& byz, NodeId start,
+                                       std::uint32_t length, Rng& rng);
+
+/// Total-variation distance between the empirical distribution of `samples`
+/// walk endpoints from `start` and the stationary distribution (degree-
+/// proportional). Diagnostic for choosing the walk length (T7 reports it).
+[[nodiscard]] double walkEndpointTvDistance(const Graph& g, NodeId start, std::uint32_t length,
+                                            std::size_t samples, Rng& rng);
+
+}  // namespace bzc

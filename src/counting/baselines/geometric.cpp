@@ -1,0 +1,94 @@
+#include "counting/baselines/geometric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+CountingResult runGeometricMax(const Graph& g, const ByzantineSet& byz, GeometricAttack attack,
+                               const GeometricParams& params, Rng& rng) {
+  const NodeId n = g.numNodes();
+  BZC_REQUIRE(byz.numNodes() == n, "byzantine set size mismatch");
+  constexpr std::size_t kValueBits = 64;
+
+  CountingResult result;
+  result.decisions.assign(n, {});
+  result.meter = MessageMeter(n);
+
+  std::vector<std::uint32_t> best(n, 0);
+  std::vector<char> dirty(n, 0);  // has news to broadcast next round
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u)) continue;
+    best[u] = rng.geometricFlips();
+    dirty[u] = 1;
+  }
+
+  const Round cap = params.maxRounds > 0 ? params.maxRounds : static_cast<Round>(4 * n + 16);
+  std::vector<std::uint32_t> incomingMax(n, 0);
+  Round round = 0;
+  bool byzFired = false;
+  for (round = 1; round <= cap; ++round) {
+    std::fill(incomingMax.begin(), incomingMax.end(), 0);
+    bool anyMessage = false;
+    // Honest broadcasts.
+    for (NodeId u = 0; u < n; ++u) {
+      if (byz.contains(u) || !dirty[u]) continue;
+      anyMessage = true;
+      for (NodeId v : g.neighbors(u)) {
+        incomingMax[v] = std::max(incomingMax[v], best[u]);
+        result.meter.record(u, kValueBits);
+      }
+    }
+    // Byzantine behaviour.
+    if (attack == GeometricAttack::Inflate && !byzFired) {
+      for (NodeId b : byz.members()) {
+        for (NodeId v : g.neighbors(b)) {
+          incomingMax[v] = std::max(incomingMax[v], params.inflatedValue);
+        }
+      }
+      byzFired = !byz.members().empty();
+      anyMessage = anyMessage || byzFired;
+    } else if (attack == GeometricAttack::None) {
+      // Byzantine nodes act honestly: forward the max they have seen. They
+      // hold no value of their own (their coin is irrelevant to honest
+      // estimates); modelled as relaying via `best` updated below.
+      for (NodeId b : byz.members()) {
+        if (!dirty[b]) continue;
+        anyMessage = true;
+        for (NodeId v : g.neighbors(b)) incomingMax[v] = std::max(incomingMax[v], best[b]);
+      }
+    }
+    // GeometricAttack::Suppress: Byzantine nodes stay silent.
+
+    if (!anyMessage) break;
+    std::fill(dirty.begin(), dirty.end(), 0);
+    for (NodeId u = 0; u < n; ++u) {
+      if (incomingMax[u] > best[u]) {
+        best[u] = incomingMax[u];
+        // Suppressing nodes swallow updates instead of relaying them.
+        if (!(attack == GeometricAttack::Suppress && byz.contains(u))) dirty[u] = 1;
+        if (attack == GeometricAttack::Inflate && byz.contains(u)) dirty[u] = 0;
+      }
+    }
+    if (attack == GeometricAttack::Inflate) {
+      // After the forged value is out, Byzantine nodes keep quiet; honest
+      // flooding does the damage for them.
+      for (NodeId b : byz.members()) dirty[b] = 0;
+    }
+  }
+  result.totalRounds = std::min(round, cap);
+  result.hitRoundCap = round > cap;
+
+  const double ln2 = std::log(2.0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u)) continue;
+    result.decisions[u].decided = true;
+    result.decisions[u].round = result.totalRounds;
+    result.decisions[u].estimate = static_cast<double>(best[u]) * ln2;
+  }
+  return result;
+}
+
+}  // namespace bzc

@@ -1,0 +1,36 @@
+// Baseline 1 (§1.2): geometric-distribution maximum flooding.
+//
+// Every node flips a fair coin until it sees heads; X_u = number of flips.
+// The global maximum X̄ = Θ(log2 n) w.h.p., and flooding the running maximum
+// lets every node learn it in diameter rounds. The paper uses this protocol
+// to motivate Byzantine counting: a *single* Byzantine node can fake an
+// arbitrarily large maximum (or sit on a cut and suppress the real one), so
+// the estimate has no approximation guarantee. Experiment T6 measures both
+// failure modes.
+#pragma once
+
+#include "counting/common.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+enum class GeometricAttack {
+  None,      ///< Byzantine nodes follow the protocol
+  Inflate,   ///< announce a huge fake maximum in round 1
+  Suppress,  ///< never forward anything (damaging on cuts, not expanders)
+};
+
+struct GeometricParams {
+  Round maxRounds = 0;                    ///< 0: cap at 4n+16
+  std::uint32_t inflatedValue = 1 << 20;  ///< the forged maximum
+};
+
+/// Runs to quiescence; every honest node's estimate is maxSeen * ln 2
+/// (converting the base-2 geometric maximum to the natural-log scale the
+/// QualityWindow uses).
+[[nodiscard]] CountingResult runGeometricMax(const Graph& g, const ByzantineSet& byz,
+                                             GeometricAttack attack, const GeometricParams& params,
+                                             Rng& rng);
+
+}  // namespace bzc

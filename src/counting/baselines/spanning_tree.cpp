@@ -1,0 +1,80 @@
+#include "counting/baselines/spanning_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+CountingResult runSpanningTreeCount(const Graph& g, const ByzantineSet& byz, TreeAttack attack,
+                                    const TreeParams& params) {
+  const NodeId n = g.numNodes();
+  BZC_REQUIRE(byz.numNodes() == n, "byzantine set size mismatch");
+  BZC_REQUIRE(params.root < n, "root out of range");
+  BZC_REQUIRE(!byz.contains(params.root), "root must be honest");
+
+  CountingResult result;
+  result.decisions.assign(n, {});
+  result.meter = MessageMeter(n);
+
+  // Stage 1: BFS tree (every node, Byzantine or not, joins; refusing to join
+  // is subsumed by the Mute attack in stage 2).
+  const auto dist = bfsDistances(g, params.root);
+  std::vector<NodeId> parent(n, kNoNode);
+  std::uint32_t depth = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (dist[u] == kUnreachable || u == params.root) continue;
+    depth = std::max(depth, dist[u]);
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] + 1 == dist[u]) {
+        parent[u] = std::min(parent[u], v);  // deterministic: smallest-index parent
+      }
+    }
+  }
+
+  // Stage 2: converge-cast subtree counts, deepest layer first.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (dist[u] != kUnreachable) order.push_back(u);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return dist[a] != dist[b] ? dist[a] > dist[b] : a < b; });
+  std::vector<std::uint64_t> subtree(n, 0);
+  for (NodeId u : order) {
+    std::uint64_t reported = subtree[u] + 1;  // children already accumulated
+    if (byz.contains(u)) {
+      switch (attack) {
+        case TreeAttack::None: break;
+        case TreeAttack::Inflate: reported += params.inflationBoost; break;
+        case TreeAttack::Undercount: reported = 1; break;
+        case TreeAttack::Mute: reported = 0; break;
+      }
+    }
+    if (u != params.root && parent[u] != kNoNode) {
+      subtree[parent[u]] += reported;
+      if (!byz.contains(u) && reported > 0) result.meter.record(u, 64);
+    } else if (u == params.root) {
+      subtree[u] = reported;
+    }
+  }
+  const std::uint64_t announced = subtree[params.root];
+
+  // Stage 3: root broadcasts the total down the tree.
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u) || dist[u] == kUnreachable) continue;
+    // A Byzantine ancestor could also corrupt the downward broadcast; the
+    // converge-cast attack already demonstrates the failure, so the
+    // broadcast is modelled as reliable flooding here.
+    result.meter.record(u, 64);
+    result.decisions[u].decided = true;
+    result.decisions[u].round = 2 * depth + 1;
+    result.decisions[u].estimate = announced > 1 ? std::log(static_cast<double>(announced)) : 0.0;
+  }
+  result.totalRounds = 2 * depth + 1;
+  return result;
+}
+
+}  // namespace bzc

@@ -1,0 +1,33 @@
+// Baseline 3 (§1.2): spanning-tree converge-cast counting.
+//
+// The classic exact-count protocol: build a BFS tree from a root, converge-
+// cast subtree sizes to the root, then broadcast the total. Exact in the
+// benign case and the first thing Byzantine nodes break — a single Byzantine
+// internal node can report an arbitrary subtree count (inflate/hide), and a
+// Byzantine root can announce anything. Experiment T6 measures it.
+#pragma once
+
+#include "counting/common.hpp"
+#include "graph/graph.hpp"
+
+namespace bzc {
+
+enum class TreeAttack {
+  None,        ///< Byzantine nodes follow the protocol
+  Inflate,     ///< report subtree count + forged boost
+  Undercount,  ///< report a subtree count of 1 regardless of subtree size
+  Mute,        ///< report nothing; parents treat the subtree as empty
+};
+
+struct TreeParams {
+  NodeId root = 0;
+  std::uint64_t inflationBoost = 1'000'000'000ULL;
+};
+
+/// Simulates the three-stage protocol (tree build, converge-cast, broadcast)
+/// at round granularity 2*depth+1. The root must be honest (a Byzantine root
+/// trivially controls the answer; T6 notes this).
+[[nodiscard]] CountingResult runSpanningTreeCount(const Graph& g, const ByzantineSet& byz,
+                                                  TreeAttack attack, const TreeParams& params);
+
+}  // namespace bzc

@@ -1,0 +1,83 @@
+#include "counting/baselines/support_estimation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+CountingResult runSupportEstimation(const Graph& g, const ByzantineSet& byz, SupportAttack attack,
+                                    const SupportParams& params, Rng& rng) {
+  const NodeId n = g.numNodes();
+  BZC_REQUIRE(byz.numNodes() == n, "byzantine set size mismatch");
+  BZC_REQUIRE(params.coordinates >= 1, "need at least one coordinate");
+  const std::uint32_t k = params.coordinates;
+  const std::size_t messageBits = static_cast<std::size_t>(k) * 64;
+
+  CountingResult result;
+  result.decisions.assign(n, {});
+  result.meter = MessageMeter(n);
+
+  // mins[u*k + j]: node u's current minimum for coordinate j.
+  std::vector<double> mins(static_cast<std::size_t>(n) * k);
+  std::vector<char> dirty(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const bool isByz = byz.contains(u);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      double draw = rng.exponential();  // burn a draw for byz too: keeps the
+                                        // honest sequence placement-invariant
+      if (isByz && attack == SupportAttack::ZeroInject) draw = params.injectedValue;
+      mins[static_cast<std::size_t>(u) * k + j] = draw;
+    }
+    dirty[u] = (!isByz || attack != SupportAttack::Suppress) ? 1 : 0;
+  }
+
+  const Round cap = params.maxRounds > 0 ? params.maxRounds : static_cast<Round>(4 * n + 16);
+  std::vector<double> incoming(static_cast<std::size_t>(n) * k);
+  Round round = 0;
+  for (round = 1; round <= cap; ++round) {
+    std::fill(incoming.begin(), incoming.end(), std::numeric_limits<double>::infinity());
+    bool anyMessage = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!dirty[u]) continue;
+      if (byz.contains(u) && attack == SupportAttack::Suppress) continue;
+      anyMessage = true;
+      for (NodeId v : g.neighbors(u)) {
+        if (!byz.contains(u)) result.meter.record(u, messageBits);
+        for (std::uint32_t j = 0; j < k; ++j) {
+          const std::size_t vi = static_cast<std::size_t>(v) * k + j;
+          incoming[vi] = std::min(incoming[vi], mins[static_cast<std::size_t>(u) * k + j]);
+        }
+      }
+    }
+    if (!anyMessage) break;
+    std::fill(dirty.begin(), dirty.end(), 0);
+    for (NodeId u = 0; u < n; ++u) {
+      bool improved = false;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        const std::size_t ui = static_cast<std::size_t>(u) * k + j;
+        if (incoming[ui] < mins[ui]) {
+          mins[ui] = incoming[ui];
+          improved = true;
+        }
+      }
+      if (improved && !(byz.contains(u) && attack == SupportAttack::Suppress)) dirty[u] = 1;
+    }
+  }
+  result.totalRounds = std::min(round, cap);
+  result.hitRoundCap = round > cap;
+
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u)) continue;
+    double sum = 0.0;
+    for (std::uint32_t j = 0; j < k; ++j) sum += mins[static_cast<std::size_t>(u) * k + j];
+    const double estimateN = sum > 0 ? static_cast<double>(k) / sum : 0.0;
+    result.decisions[u].decided = true;
+    result.decisions[u].round = result.totalRounds;
+    result.decisions[u].estimate = estimateN > 1.0 ? std::log(estimateN) : 0.0;
+  }
+  return result;
+}
+
+}  // namespace bzc

@@ -1,0 +1,34 @@
+// Baseline 2 (§1.2): support estimation with exponential variables [7, 5].
+//
+// Every node draws k i.i.d. Exponential(1) coordinates; the network floods
+// the coordinate-wise minimum. Since the minimum of n exponentials is
+// Exponential(n), the sum of the k global minima concentrates around k/n and
+// n̂ = k / sum is a (1±o(1)) estimate for large k. Works in anonymous
+// networks — and, like the geometric protocol, collapses under a single
+// Byzantine node injecting near-zero coordinates. Experiment T6 measures it.
+#pragma once
+
+#include "counting/common.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+enum class SupportAttack {
+  None,        ///< Byzantine nodes follow the protocol
+  ZeroInject,  ///< announce near-zero coordinates: n̂ explodes upward
+  Suppress,    ///< never forward minima
+};
+
+struct SupportParams {
+  std::uint32_t coordinates = 64;  ///< k
+  Round maxRounds = 0;             ///< 0: cap at 4n+16
+  double injectedValue = 1e-9;     ///< forged coordinate value
+};
+
+/// Runs to quiescence; the per-node estimate is ln(k / sum of its minima).
+[[nodiscard]] CountingResult runSupportEstimation(const Graph& g, const ByzantineSet& byz,
+                                                  SupportAttack attack,
+                                                  const SupportParams& params, Rng& rng);
+
+}  // namespace bzc

@@ -1,0 +1,59 @@
+#include "counting/beacon/attacks.hpp"
+
+namespace bzc {
+
+BeaconAttackProfile BeaconAttackProfile::none() {
+  BeaconAttackProfile p;
+  p.name = "none";
+  return p;
+}
+
+BeaconAttackProfile BeaconAttackProfile::flooder() {
+  BeaconAttackProfile p;
+  p.name = "flooder";
+  p.forgeBeacons = true;
+  return p;
+}
+
+BeaconAttackProfile BeaconAttackProfile::tamperer() {
+  BeaconAttackProfile p;
+  p.name = "tamperer";
+  p.tamperRelayedPaths = true;
+  return p;
+}
+
+BeaconAttackProfile BeaconAttackProfile::suppressor() {
+  BeaconAttackProfile p;
+  p.name = "suppressor";
+  p.relayBeacons = false;
+  p.relayContinues = false;
+  return p;
+}
+
+BeaconAttackProfile BeaconAttackProfile::continueSpammer() {
+  BeaconAttackProfile p;
+  p.name = "continue-spammer";
+  p.spamContinues = true;
+  return p;
+}
+
+BeaconAttackProfile BeaconAttackProfile::targetedFlooder(std::uint32_t victim,
+                                                         std::uint32_t radius) {
+  BeaconAttackProfile p;
+  p.name = "targeted-flooder";
+  p.forgeBeacons = true;
+  p.forgeRadius = radius;
+  p.victim = victim;
+  return p;
+}
+
+BeaconAttackProfile BeaconAttackProfile::full() {
+  BeaconAttackProfile p;
+  p.name = "full";
+  p.forgeBeacons = true;
+  p.tamperRelayedPaths = true;
+  p.spamContinues = true;
+  return p;
+}
+
+}  // namespace bzc

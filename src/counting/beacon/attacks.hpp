@@ -1,0 +1,52 @@
+// Adversary strategies against Algorithm 2.
+//
+// The model is full-information: the adversary sees all state. The strategies
+// below are the concrete worst cases the paper's analysis singles out:
+//
+//  - flooder():     forge a fresh beacon at every Byzantine node in every
+//                   iteration — the attack blacklisting exists to stop
+//                   (§1.3 "To avoid the scenario where Byzantine nodes simply
+//                   keep generating new beacon messages...").
+//  - tamperer():    relay honest beacons but rewrite the path prefix with
+//                   fresh fabricated IDs (Lemma 11's "tampered prefix" case).
+//  - suppressor():  drop all beacon and continue traffic (push neighbours
+//                   toward *early* decisions).
+//  - continueSpammer(): emit continue messages forever so decided nodes never
+//                   quiesce (stresses the exit rule; decisions stay correct,
+//                   termination does not happen — cf. Remark 3).
+//  - full():        flooder + tamperer + continue spam.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bzc {
+
+struct BeaconAttackProfile {
+  std::string name = "none";
+
+  bool forgeBeacons = false;          ///< emit a forged beacon each iteration
+  std::uint32_t fakePrefixLength = 2; ///< fabricated IDs prepended to forged paths
+  bool relayBeacons = true;           ///< forward honest beacon traffic
+  bool tamperRelayedPaths = false;    ///< relaying rewrites paths with fresh IDs
+  bool relayContinues = true;         ///< forward continue messages
+  bool spamContinues = false;         ///< originate continue messages forever
+
+  // Targeted variant: only Byzantine nodes within `forgeRadius` hops of
+  // `victim` forge (0 radius = untargeted). Concentrates the whole forging
+  // budget on one neighbourhood — the worst case for that victim, and a
+  // cheap one network-wide.
+  std::uint32_t forgeRadius = 0;
+  std::uint32_t victim = 0;
+
+  [[nodiscard]] static BeaconAttackProfile none();
+  [[nodiscard]] static BeaconAttackProfile flooder();
+  [[nodiscard]] static BeaconAttackProfile tamperer();
+  [[nodiscard]] static BeaconAttackProfile suppressor();
+  [[nodiscard]] static BeaconAttackProfile continueSpammer();
+  [[nodiscard]] static BeaconAttackProfile full();
+  [[nodiscard]] static BeaconAttackProfile targetedFlooder(std::uint32_t victim,
+                                                           std::uint32_t radius = 4);
+};
+
+}  // namespace bzc

@@ -1,0 +1,42 @@
+#include "counting/beacon/params.hpp"
+
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+double BeaconParams::epsilon(std::uint32_t d) const {
+  BZC_REQUIRE(d >= 2, "degree too small");
+  return 1.0 - (1.0 - delta) * gamma / std::log(static_cast<double>(d));
+}
+
+std::uint32_t BeaconParams::blacklistSuffix(std::uint32_t phase, std::uint32_t d) const {
+  const double eps = epsilon(d);
+  const double suffix = (1.0 - eps) * static_cast<double>(phase);
+  return suffix <= 0.0 ? 0 : static_cast<std::uint32_t>(suffix);
+}
+
+std::uint32_t BeaconParams::iterationsForPhase(std::uint32_t phase) const {
+  const double count = std::exp((1.0 - gamma) * static_cast<double>(phase));
+  // Cap defensively; phases are bounded by BeaconLimits long before this.
+  const double capped = std::min(count, 1e9);
+  return static_cast<std::uint32_t>(capped) + 1;
+}
+
+double BeaconParams::activationProbability(std::uint32_t phase, std::uint32_t degree) const {
+  BZC_REQUIRE(degree >= 2, "degree too small");
+  const double ball = std::pow(static_cast<double>(degree), static_cast<double>(phase));
+  const double p = c1 * static_cast<double>(phase) / ball;
+  return p >= 1.0 ? 1.0 : p;
+}
+
+void BeaconParams::validate() const {
+  BZC_REQUIRE(gamma > 0.0 && gamma < 1.0, "gamma must lie in (0,1)");
+  BZC_REQUIRE(delta > 0.0 && delta <= 0.5, "delta must lie in (0, 1/2]");
+  BZC_REQUIRE(gamma > 0.5 - delta, "eq (2): gamma must exceed 1/2 - delta");
+  BZC_REQUIRE(c1 > 0.0, "c1 must be positive");
+  BZC_REQUIRE(firstPhase >= 1, "first phase must be >= 1");
+}
+
+}  // namespace bzc

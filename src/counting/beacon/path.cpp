@@ -1,0 +1,14 @@
+#include "counting/beacon/path.hpp"
+
+#include <algorithm>
+
+namespace bzc {
+
+std::vector<PublicId> PathArena::materialize(PathRef path) const {
+  std::vector<PublicId> ids;
+  for (PathRef p = path; p != kNoPath; p = nodes_[p].parent) ids.push_back(nodes_[p].id);
+  std::reverse(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace bzc

@@ -1,0 +1,76 @@
+// Shared-prefix storage for beacon path fields.
+//
+// A beacon's path field grows by one ID per hop while the message fans out to
+// every node; copying vectors would cost O(i) per delivery. The arena stores
+// paths as immutable (id, parent) records — appending is O(1) and all the
+// fan-out copies of a beacon share their prefix. Entries live for one
+// iteration (paths never outlive the iteration that produced them) and the
+// arena is recycled with clear().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/require.hpp"
+#include "support/types.hpp"
+
+namespace bzc {
+
+/// Index into PathArena; kNoPath denotes the empty path.
+using PathRef = std::int32_t;
+inline constexpr PathRef kNoPath = -1;
+
+class PathArena {
+ public:
+  /// Appends `id` to `parent` (which may be kNoPath), returning the new path.
+  [[nodiscard]] PathRef append(PathRef parent, PublicId id) {
+    BZC_ASSERT(parent == kNoPath || static_cast<std::size_t>(parent) < nodes_.size());
+    nodes_.push_back({id, parent});
+    return static_cast<PathRef>(nodes_.size() - 1);
+  }
+
+  /// Number of IDs on the path.
+  [[nodiscard]] std::uint32_t length(PathRef path) const {
+    std::uint32_t len = 0;
+    for (PathRef p = path; p != kNoPath; p = nodes_[p].parent) ++len;
+    return len;
+  }
+
+  /// Last ID on the path (the most recently appended hop). Path must be
+  /// nonempty.
+  [[nodiscard]] PublicId last(PathRef path) const {
+    BZC_REQUIRE(path != kNoPath, "empty path has no last element");
+    return nodes_[path].id;
+  }
+
+  /// IDs in path order (origin side first).
+  [[nodiscard]] std::vector<PublicId> materialize(PathRef path) const;
+
+  /// Visits the path *prefix*: every ID except the last `suffixLen` ones,
+  /// i.e. the entries Line 20 of the pseudocode calls S. Visitor returns
+  /// false to stop early; walkPrefix returns false iff stopped early.
+  template <typename Visitor>
+  bool walkPrefix(PathRef path, std::uint32_t suffixLen, Visitor&& visit) const {
+    // Entries are reached suffix-first; skip the first `suffixLen` of them.
+    std::uint32_t fromEnd = 0;
+    for (PathRef p = path; p != kNoPath; p = nodes_[p].parent) {
+      if (fromEnd >= suffixLen) {
+        if (!visit(nodes_[p].id)) return false;
+      }
+      ++fromEnd;
+    }
+    return true;
+  }
+
+  void clear() noexcept { nodes_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    PublicId id;
+    PathRef parent;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace bzc

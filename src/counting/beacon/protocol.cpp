@@ -1,0 +1,373 @@
+#include "counting/beacon/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "counting/beacon/path.hpp"
+#include "graph/bfs.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+namespace {
+
+// Message framing costs (bits) for the CONGEST accounting of Theorem 2.
+constexpr std::size_t kHeaderBits = 16;
+constexpr std::size_t kContinueBits = 16;
+
+struct Beacon {
+  PublicId origin = kNoPublicId;
+  PathRef path = kNoPath;  ///< path *as sent*; the receiver appends the sender
+  std::uint32_t len = 0;   ///< number of IDs on `path`
+};
+
+struct Incoming {
+  NodeId sender = kNoNode;
+  Beacon beacon;
+};
+
+/// Bits of a beacon message carrying `pathLen` IDs plus the origin ID.
+[[nodiscard]] std::size_t beaconBits(std::uint32_t pathLen) {
+  return kHeaderBits + IdSpace::bitsPerId() * (static_cast<std::size_t>(pathLen) + 1);
+}
+
+/// Line 21 check for the received message ⟨beacon, o, Q⟩ from `senderPub`:
+/// S = all but the last `suffix` entries of Q' = Q + [sender] must avoid BL.
+[[nodiscard]] bool pathAcceptable(const std::unordered_set<PublicId>& bl, const PathArena& arena,
+                                  const Beacon& beacon, PublicId senderPub, std::uint32_t suffix) {
+  if (bl.empty()) return true;
+  if (suffix == 0 && bl.count(senderPub) > 0) return false;
+  const std::uint32_t effectiveSuffix = suffix > 0 ? suffix - 1 : 0;
+  return arena.walkPrefix(beacon.path, effectiveSuffix,
+                          [&](PublicId id) { return bl.count(id) == 0; });
+}
+
+/// Per-run mutable state, grouped so helper lambdas stay readable.
+struct RunState {
+  explicit RunState(NodeId n)
+      : participating(n, 1),
+        decided(n, 0),
+        blacklist(n),
+        hasPending(n, 0),
+        pending(n),
+        inbox(n),
+        hasShortest(n, 0),
+        ownBeacon(n, 0),
+        shortest(n),
+        receivedContinue(n, 0) {}
+
+  // Persistent across iterations.
+  std::vector<char> participating;
+  std::vector<char> decided;
+  std::vector<std::unordered_set<PublicId>> blacklist;  // reset each phase
+
+  // Per-round messaging state.
+  std::vector<char> hasPending;
+  std::vector<Beacon> pending;
+  std::vector<std::vector<Incoming>> inbox;
+
+  // Per-iteration state.
+  std::vector<char> hasShortest;
+  std::vector<char> ownBeacon;  // shortestPath == (u) itself (Line 7)
+  std::vector<Beacon> shortest;
+  std::vector<char> receivedContinue;
+};
+
+}  // namespace
+
+BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
+                                const BeaconAttackProfile& attack, const BeaconParams& params,
+                                const BeaconLimits& limits, Rng& rng) {
+  params.validate();
+  const NodeId n = g.numNodes();
+  BZC_REQUIRE(n >= 2, "network too small");
+  BZC_REQUIRE(byz.numNodes() == n, "byzantine set size mismatch");
+
+  const std::uint32_t maxPhase =
+      limits.maxPhase > 0
+          ? limits.maxPhase
+          : static_cast<std::uint32_t>(std::ceil(2.5 * std::log(static_cast<double>(n)))) + 6;
+  const std::uint64_t maxRounds = limits.maxTotalRounds > 0 ? limits.maxTotalRounds : 20'000;
+
+  Rng idRng = rng.fork(0x1d5);
+  const IdSpace ids(n, idRng);
+  Rng actRng = rng.fork(0xac7);
+  Rng fakeRng = rng.fork(0xfa4e);
+
+  BeaconOutcome out;
+  out.result.decisions.assign(n, {});
+  out.result.meter = MessageMeter(n);
+  out.stats.decidedPhase.assign(n, 0);
+
+  // Targeted forging: restrict the forging set to the victim's vicinity.
+  std::vector<char> forges(n, 0);
+  if (attack.forgeBeacons) {
+    const std::vector<std::uint32_t> distToVictim =
+        attack.forgeRadius > 0 ? bfsDistances(g, static_cast<NodeId>(attack.victim % n))
+                               : std::vector<std::uint32_t>{};
+    for (NodeId b : byz.members()) {
+      forges[b] = (attack.forgeRadius == 0 || distToVictim[b] <= attack.forgeRadius) ? 1 : 0;
+    }
+  }
+
+  RunState st(n);
+  PathArena arena;
+  std::vector<NodeId> senders;      // nodes with hasPending, this round
+  std::vector<NodeId> nextSenders;  // nodes that will broadcast next round
+  std::vector<NodeId> touched;      // nodes with a nonempty inbox this round
+  std::vector<NodeId> frontier;     // continue-flood BFS frontier
+  std::vector<NodeId> nextFrontier;
+
+  std::uint64_t globalRound = 0;
+  std::size_t undecidedHonest = n - byz.count();
+
+  auto makeForgedBeacon = [&](std::uint32_t prefixLen) {
+    Beacon forged;
+    forged.origin = fakeRng.next();
+    forged.path = kNoPath;
+    for (std::uint32_t k = 0; k < prefixLen; ++k) {
+      forged.path = arena.append(forged.path, fakeRng.next());
+    }
+    forged.len = prefixLen;
+    ++out.stats.beaconsForged;
+    return forged;
+  };
+
+  bool capped = false;
+  for (std::uint32_t phase = params.firstPhase; phase <= maxPhase && !capped;
+       phase = params.nextPhase(phase)) {
+    out.stats.lastPhase = phase;
+    // Line 2: reset the phase blacklist (kept only where it is consulted:
+    // undecided honest nodes; decided re-entrants never read theirs).
+    for (NodeId u = 0; u < n; ++u) {
+      if (!byz.contains(u) && !st.decided[u]) st.blacklist[u].clear();
+    }
+    const std::uint32_t iterations = params.iterationsForPhase(phase);
+    const std::uint32_t beaconWindow = phase + 2;
+    const std::uint32_t continueWindow = phase + 3;
+    const std::uint32_t suffix = std::max<std::uint32_t>(
+        1, params.blacklistSuffix(phase, std::max<NodeId>(2, g.maxDegree())));
+
+    bool anyParticipant = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!byz.contains(u) && st.participating[u]) {
+        anyParticipant = true;
+        break;
+      }
+    }
+    if (!anyParticipant) {
+      out.stats.quiesced = true;
+      break;
+    }
+
+    for (std::uint32_t iter = 1; iter <= iterations && !capped; ++iter) {
+      if (globalRound + BeaconParams::roundsPerIteration(phase) > maxRounds) {
+        capped = true;
+        break;
+      }
+      arena.clear();
+      std::fill(st.hasShortest.begin(), st.hasShortest.end(), 0);
+      std::fill(st.ownBeacon.begin(), st.ownBeacon.end(), 0);
+      std::fill(st.hasPending.begin(), st.hasPending.end(), 0);
+      senders.clear();
+
+      // --- Line 5-11: activations at the start of the iteration. ---
+      for (NodeId u = 0; u < n; ++u) {
+        if (byz.contains(u)) {
+          if (forges[u]) {
+            st.pending[u] = makeForgedBeacon(attack.fakePrefixLength);
+            st.hasPending[u] = 1;
+            senders.push_back(u);
+          }
+          continue;
+        }
+        if (!st.participating[u]) continue;
+        const double p = params.activationProbability(phase, g.degree(u));
+        if (actRng.bernoulli(p)) {
+          st.pending[u] = Beacon{ids.publicId(u), kNoPath, 0};
+          st.hasPending[u] = 1;
+          st.hasShortest[u] = 1;  // Line 7: shortestPath <- (u)
+          st.ownBeacon[u] = 1;
+          senders.push_back(u);
+          ++out.stats.beaconsGenerated;
+        }
+      }
+
+      // --- Beacon window: i+2 rounds of flooding. ---
+      for (std::uint32_t r = 1; r <= beaconWindow; ++r) {
+        ++globalRound;
+        touched.clear();
+        for (NodeId u : senders) {
+          const Beacon& b = st.pending[u];
+          if (!byz.contains(u)) {
+            out.result.meter.recordBroadcast(u, beaconBits(b.len), g.degree(u));
+          }
+          for (NodeId v : g.neighbors(u)) {
+            if (st.inbox[v].empty()) touched.push_back(v);
+            st.inbox[v].push_back({u, b});
+          }
+        }
+        // Everyone's message from this round is now out; compute next round's.
+        std::fill(st.hasPending.begin(), st.hasPending.end(), 0);
+        nextSenders.clear();
+        for (NodeId v : touched) {
+          auto& box = st.inbox[v];
+          if (byz.contains(v)) {
+            if (attack.relayBeacons && r < beaconWindow) {
+              if (attack.tamperRelayedPaths) {
+                st.pending[v] = makeForgedBeacon(attack.fakePrefixLength);
+              } else {
+                const Incoming& in = box.front();
+                Beacon fwd = in.beacon;
+                fwd.path = arena.append(fwd.path, ids.publicId(in.sender));
+                ++fwd.len;
+                st.pending[v] = fwd;
+              }
+              st.hasPending[v] = 1;
+              nextSenders.push_back(v);
+            }
+            box.clear();
+            continue;
+          }
+          if (!st.participating[v]) {
+            box.clear();  // exited nodes stay mute
+            continue;
+          }
+          // Line 13-14: pick one message per the policy. Acceptability only
+          // matters while the node still needs a shortestPath this iteration
+          // (decided re-entrants and nodes with shortestPath set just relay),
+          // which keeps the prefix walks off the fan-out fast path.
+          const bool needsAccept = !st.decided[v] && !st.hasShortest[v];
+          const Incoming* chosen = &box.front();
+          bool chosenAcceptable = false;
+          if (needsAccept) {
+            chosenAcceptable = pathAcceptable(st.blacklist[v], arena, chosen->beacon,
+                                              ids.publicId(chosen->sender), suffix);
+            if (params.choice == BeaconChoicePolicy::PreferAcceptable && box.size() > 1) {
+              for (std::size_t k = 1; k < box.size(); ++k) {
+                const Incoming& cand = box[k];
+                if (chosenAcceptable && chosen->beacon.len <= cand.beacon.len) continue;
+                const bool acc = pathAcceptable(st.blacklist[v], arena, cand.beacon,
+                                                ids.publicId(cand.sender), suffix);
+                const bool better =
+                    (acc && !chosenAcceptable) ||
+                    (acc == chosenAcceptable && cand.beacon.len < chosen->beacon.len);
+                if (better) {
+                  chosen = &cand;
+                  chosenAcceptable = acc;
+                }
+              }
+            }
+          }
+          // Line 16: the receiver appends the sender's (unfakeable) ID.
+          Beacon forwarded = chosen->beacon;
+          forwarded.path = arena.append(forwarded.path, ids.publicId(chosen->sender));
+          ++forwarded.len;
+          // Lines 20-25: update shortestPath with the first acceptable beacon.
+          if (chosenAcceptable && !st.hasShortest[v]) {
+            st.hasShortest[v] = 1;
+            st.shortest[v] = forwarded;
+          }
+          // Lines 17-19: keep flooding while the window allows another hop.
+          if (r < beaconWindow) {
+            st.pending[v] = forwarded;
+            st.hasPending[v] = 1;
+            nextSenders.push_back(v);
+          }
+          box.clear();
+        }
+        senders.swap(nextSenders);
+      }
+      senders.clear();
+
+      // --- Lines 28-32: decisions and blacklist maintenance. ---
+      for (NodeId u = 0; u < n; ++u) {
+        if (byz.contains(u) || !st.participating[u] || st.decided[u]) continue;
+        if (!st.hasShortest[u]) {
+          st.decided[u] = 1;
+          --undecidedHonest;
+          out.stats.decidedPhase[u] = phase;
+          out.result.decisions[u].decided = true;
+          out.result.decisions[u].round = static_cast<Round>(globalRound);
+          out.result.decisions[u].estimate = static_cast<double>(phase);
+        } else if (params.blacklistEnabled && !st.ownBeacon[u]) {
+          const std::uint32_t len = st.shortest[u].len;
+          if (len > suffix) {
+            st.blacklist[u].reserve(st.blacklist[u].size() + (len - suffix));
+            arena.walkPrefix(st.shortest[u].path, suffix, [&](PublicId id) {
+              if (st.blacklist[u].insert(id).second) ++out.stats.blacklistInsertions;
+              return true;
+            });
+          }
+        }
+      }
+      if (undecidedHonest == 0 && out.stats.roundsUntilAllDecided == 0) {
+        out.stats.roundsUntilAllDecided = static_cast<Round>(globalRound);
+      }
+
+      // --- Lines 34-41: continue flood, i+3 rounds. ---
+      globalRound += continueWindow;
+      std::fill(st.receivedContinue.begin(), st.receivedContinue.end(), 0);
+      frontier.clear();
+      for (NodeId u = 0; u < n; ++u) {
+        const bool honestSource = !byz.contains(u) && st.participating[u] && !st.decided[u] &&
+                                  params.continueEnabled;
+        const bool byzSource = byz.contains(u) && attack.spamContinues;
+        if (!honestSource && !byzSource) continue;
+        if (honestSource) ++out.stats.continueMessages;
+        st.receivedContinue[u] = 1;  // sources need no re-entry signal
+        frontier.push_back(u);
+      }
+      // Sources broadcast in round 1; relays run rounds 2..continueWindow,
+      // so the flood reaches distance `continueWindow`.
+      for (std::uint32_t depth = 1; depth <= continueWindow && !frontier.empty(); ++depth) {
+        nextFrontier.clear();
+        for (NodeId u : frontier) {
+          const bool emits = depth == 1  // sources always emit their own
+                                 ? true
+                                 : (byz.contains(u) ? attack.relayContinues
+                                                    : st.participating[u] != 0);
+          if (!emits) continue;
+          if (!byz.contains(u)) {
+            out.result.meter.recordBroadcast(u, kContinueBits, g.degree(u));
+          }
+          for (NodeId v : g.neighbors(u)) {
+            if (!st.receivedContinue[v]) {
+              st.receivedContinue[v] = 1;
+              nextFrontier.push_back(v);
+            }
+          }
+        }
+        frontier.swap(nextFrontier);
+      }
+
+      // Lines 38-44: exit or (re-)enter for the next iteration.
+      bool anyHonestParticipant = false;
+      for (NodeId u = 0; u < n; ++u) {
+        if (byz.contains(u)) continue;
+        st.participating[u] = (!st.decided[u] || st.receivedContinue[u]) ? 1 : 0;
+        anyHonestParticipant = anyHonestParticipant || st.participating[u];
+      }
+      if (!anyHonestParticipant) break;  // phase loop notices quiescence
+    }
+  }
+
+  out.result.totalRounds = static_cast<Round>(std::min<std::uint64_t>(globalRound, 0xffffffffu));
+  out.result.hitRoundCap = capped;
+  if (!out.stats.quiesced) {
+    // The phase loop may have ended by cap/maxPhase; re-check quiescence.
+    bool anyParticipant = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!byz.contains(u) && st.participating[u]) {
+        anyParticipant = true;
+        break;
+      }
+    }
+    out.stats.quiesced = !anyParticipant;
+  }
+  return out;
+}
+
+}  // namespace bzc

@@ -1,0 +1,52 @@
+#include "counting/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+double logSize(NodeId n) {
+  BZC_REQUIRE(n >= 2, "network too small");
+  return std::log(static_cast<double>(n));
+}
+
+QualitySummary evaluateQuality(const CountingResult& result, const ByzantineSet& byz, NodeId n,
+                               const QualityWindow& window) {
+  BZC_REQUIRE(result.decisions.size() == n, "decision vector size mismatch");
+  const double logN = logSize(n);
+  QualitySummary summary;
+  bool first = true;
+  double ratioSum = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (byz.contains(u)) continue;
+    ++summary.honestCount;
+    const DecisionRecord& rec = result.decisions[u];
+    if (!rec.decided) continue;
+    ++summary.decidedCount;
+    summary.maxDecisionRound = std::max(summary.maxDecisionRound, rec.round);
+    const double ratio = rec.estimate / logN;
+    ratioSum += ratio;
+    if (first) {
+      summary.minRatio = summary.maxRatio = ratio;
+      first = false;
+    } else {
+      summary.minRatio = std::min(summary.minRatio, ratio);
+      summary.maxRatio = std::max(summary.maxRatio, ratio);
+    }
+    if (ratio >= window.lowRatio && ratio <= window.highRatio) ++summary.withinWindowCount;
+  }
+  if (summary.honestCount > 0) {
+    summary.fracDecided =
+        static_cast<double>(summary.decidedCount) / static_cast<double>(summary.honestCount);
+    summary.fracWithinWindow =
+        static_cast<double>(summary.withinWindowCount) / static_cast<double>(summary.honestCount);
+  }
+  if (summary.decidedCount > 0) {
+    summary.meanRatio = ratioSum / static_cast<double>(summary.decidedCount);
+  }
+  return summary;
+}
+
+}  // namespace bzc

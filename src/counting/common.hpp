@@ -1,0 +1,52 @@
+// Shared result/evaluation types for all counting protocols.
+//
+// Definition 2 (Byzantine counting) asks that every honest node irrevocably
+// decides an estimate L_u within T rounds and that a (1-eps)n - B(n) subset
+// gets c1*log(n) <= L_u <= c2*log(n) for fixed constants c1, c2. Protocols
+// fill a CountingResult; evaluateQuality() scores it against that definition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/byzantine.hpp"
+#include "sim/metrics.hpp"
+#include "support/types.hpp"
+
+namespace bzc {
+
+/// Output of one protocol run.
+struct CountingResult {
+  std::vector<DecisionRecord> decisions;  ///< indexed by NodeId; honest entries meaningful
+  Round totalRounds = 0;                  ///< rounds until the run quiesced / was cut off
+  MessageMeter meter;                     ///< honest-node traffic accounting
+  bool hitRoundCap = false;               ///< run stopped by the safety cap, not quiescence
+};
+
+/// Acceptance window for L_u / log(n) (natural log).
+struct QualityWindow {
+  double lowRatio = 0.0;   ///< c1: minimum accepted L_u / ln n
+  double highRatio = 0.0;  ///< c2: maximum accepted L_u / ln n
+};
+
+/// Aggregate score of a run against Definition 2.
+struct QualitySummary {
+  std::size_t honestCount = 0;
+  std::size_t decidedCount = 0;       ///< honest nodes that decided
+  std::size_t withinWindowCount = 0;  ///< honest nodes inside [c1 ln n, c2 ln n]
+  double fracDecided = 0.0;
+  double fracWithinWindow = 0.0;  ///< of all honest nodes
+  double meanRatio = 0.0;         ///< mean L_u / ln n over decided honest nodes
+  double minRatio = 0.0;
+  double maxRatio = 0.0;
+  Round maxDecisionRound = 0;  ///< latest honest decision round
+};
+
+/// Scores `result` for a true network size of n.
+[[nodiscard]] QualitySummary evaluateQuality(const CountingResult& result, const ByzantineSet& byz,
+                                             NodeId n, const QualityWindow& window);
+
+/// Convenience: ln(n).
+[[nodiscard]] double logSize(NodeId n);
+
+}  // namespace bzc

@@ -1,0 +1,256 @@
+#include "counting/local/attacks.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/bfs.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+namespace {
+
+/// Byzantine nodes that follow the protocol: broadcast their true record in
+/// round 1, relay honestly afterwards.
+class HonestLocalAdversary final : public LocalAdversary {
+ public:
+  Emission emit(NodeId b, Round r) override {
+    Emission e;
+    if (r == 1) e.records.push_back(static_cast<RecordIdx>(b));
+    return e;
+  }
+  bool relaysHonest() const override { return true; }
+  const char* name() const override { return "honest"; }
+};
+
+class SilentLocalAdversary final : public LocalAdversary {
+ public:
+  explicit SilentLocalAdversary(Round muteFrom) : muteFrom_(muteFrom) {}
+  Emission emit(NodeId b, Round r) override {
+    Emission e;
+    if (r >= muteFrom_) {
+      e.mute = true;
+    } else if (r == 1) {
+      e.records.push_back(static_cast<RecordIdx>(b));
+    }
+    return e;
+  }
+  bool relaysHonest() const override { return false; }
+  const char* name() const override { return "silent"; }
+
+ private:
+  Round muteFrom_;
+};
+
+/// Announces its true record, then a forged alias of one honest neighbour
+/// with a scrambled adjacency — the contradiction floods and triggers the
+/// Line 18 / Lemma 4 inconsistency everywhere it lands.
+class ConflictLocalAdversary final : public LocalAdversary {
+ public:
+  void prepare(LocalAttackContext& ctx) override {
+    for (NodeId b : ctx.byz.members()) {
+      const auto nbrs = ctx.graph.neighbors(b);
+      NodeId target = kNoNode;
+      for (NodeId v : nbrs) {
+        if (!ctx.byz.contains(v)) {
+          target = v;
+          break;
+        }
+      }
+      if (target == kNoNode) continue;
+      // Forged adjacency: the target's real neighbours with one swapped for
+      // a fabricated identity (degree is preserved, so only the content
+      // contradiction can trip the checks).
+      std::vector<PublicId> adj;
+      for (NodeId v : ctx.graph.neighbors(target)) adj.push_back(ctx.ids.publicId(v));
+      if (!adj.empty()) adj[0] = ctx.rng.next();
+      forged_[b] = ctx.pool.addFake(ctx.ids.publicId(target), adj);
+    }
+  }
+  Emission emit(NodeId b, Round r) override {
+    Emission e;
+    if (r == 1) e.records.push_back(static_cast<RecordIdx>(b));
+    if (r == 2) {
+      const auto it = forged_.find(b);
+      if (it != forged_.end()) e.records.push_back(it->second);
+    }
+    return e;
+  }
+  bool relaysHonest() const override { return true; }
+  const char* name() const override { return "conflict"; }
+
+ private:
+  std::unordered_map<NodeId, RecordIdx> forged_;
+};
+
+/// Broadcasts a record whose degree exceeds the known bound Δ (Line 17).
+class DegreeBombLocalAdversary final : public LocalAdversary {
+ public:
+  void prepare(LocalAttackContext& ctx) override {
+    const std::uint32_t overDegree = ctx.graph.maxDegree() + 3;
+    for (NodeId b : ctx.byz.members()) {
+      std::vector<PublicId> adj;
+      for (std::uint32_t k = 0; k < overDegree; ++k) adj.push_back(ctx.rng.next());
+      forged_[b] = ctx.pool.addFake(ctx.rng.next(), adj);
+    }
+  }
+  Emission emit(NodeId b, Round r) override {
+    Emission e;
+    if (r == 1) e.records.push_back(static_cast<RecordIdx>(b));
+    if (r == 2) {
+      const auto it = forged_.find(b);
+      if (it != forged_.end()) e.records.push_back(it->second);
+    }
+    return e;
+  }
+  bool relaysHonest() const override { return true; }
+  const char* name() const override { return "degree-bomb"; }
+
+ private:
+  std::unordered_map<NodeId, RecordIdx> forged_;
+};
+
+/// Remark 1: fabricate an ever-growing world behind the Byzantine moat.
+class FakeWorldLocalAdversary final : public LocalAdversary {
+ public:
+  explicit FakeWorldLocalAdversary(const FakeWorldConfig& config) : config_(config) {}
+
+  void prepare(LocalAttackContext& ctx) override {
+    const auto distToVictim = bfsDistances(ctx.graph, ctx.victim);
+    const std::uint32_t maxDegree = ctx.graph.maxDegree();
+    const std::uint32_t perNodeBudget = std::max<std::uint32_t>(
+        32, config_.totalBudget / std::max<std::size_t>(1, ctx.byz.count()));
+    for (NodeId b : ctx.byz.members()) {
+      PerNode& state = perNode_[b];
+      // Keep the real neighbours closest to the victim (the moat's inward
+      // side must stay consistent with what the victim can verify); drop the
+      // rest and attach that many fabricated children.
+      std::vector<NodeId> nbrs(ctx.graph.neighbors(b).begin(), ctx.graph.neighbors(b).end());
+      std::sort(nbrs.begin(), nbrs.end(), [&](NodeId x, NodeId y) {
+        return distToVictim[x] != distToVictim[y] ? distToVictim[x] < distToVictim[y] : x < y;
+      });
+      const std::size_t keep = std::min<std::size_t>(nbrs.size(), (nbrs.size() + 1) / 2);
+      std::vector<PublicId> selfAdj;
+      for (std::size_t k = 0; k < keep; ++k) selfAdj.push_back(ctx.ids.publicId(nbrs[k]));
+      const std::uint32_t width =
+          std::min<std::uint32_t>(config_.firstLayerWidth,
+                                  static_cast<std::uint32_t>(nbrs.size() - keep));
+      std::vector<PublicId> children;
+      for (std::uint32_t k = 0; k < std::max<std::uint32_t>(width, 1); ++k) {
+        children.push_back(ctx.rng.next());
+      }
+      for (PublicId c : children) selfAdj.push_back(c);
+      // Fabricated self-record (alias of b's true identity).
+      state.layers.push_back({});
+      for (PublicId c : children) state.layers.back().push_back(c);
+      state.selfRecord = ctx.pool.addFake(ctx.ids.publicId(b), selfAdj);
+      state.parentOf[children.front()] = ctx.ids.publicId(b);
+      for (PublicId c : children) state.parentOf[c] = ctx.ids.publicId(b);
+
+      // Pre-generate the whole fake world (deterministic; prepare() is the
+      // only place records may be registered).
+      double targetWidth = static_cast<double>(children.size());
+      std::uint32_t total = static_cast<std::uint32_t>(children.size());
+      for (std::uint32_t depth = 1; depth < config_.depthCap; ++depth) {
+        targetWidth = std::min<double>(targetWidth * config_.growthFactor, config_.layerCap);
+        const auto& prev = state.layers.back();
+        if (prev.empty() || total >= perNodeBudget) break;
+        std::vector<PublicId> next;
+        const auto want = static_cast<std::uint32_t>(targetWidth);
+        // Children per parent bounded by Δ-1 so degrees stay legal.
+        std::size_t parentIdx = 0;
+        std::vector<std::uint32_t> childCount(prev.size(), 0);
+        for (std::uint32_t k = 0; k < want && total < perNodeBudget; ++k) {
+          // Round-robin parents.
+          for (std::size_t scan = 0; scan < prev.size(); ++scan) {
+            const std::size_t p = (parentIdx + scan) % prev.size();
+            if (childCount[p] + 1 < maxDegree) {
+              const PublicId child = ctx.rng.next();
+              next.push_back(child);
+              state.parentOf[child] = prev[p];
+              ++childCount[p];
+              ++total;
+              parentIdx = p + 1;
+              break;
+            }
+          }
+        }
+        // Register the previous layer's records now that children are known.
+        registerLayer(ctx, state, state.layers.size() - 1, next);
+        if (next.empty()) break;
+        state.layers.push_back(std::move(next));
+      }
+      // The final layer's nodes get leaf records (parent only).
+      registerLayer(ctx, state, state.layers.size() - 1, {});
+    }
+  }
+
+  Emission emit(NodeId b, Round r) override {
+    Emission e;
+    auto it = perNode_.find(b);
+    if (it == perNode_.end()) return e;
+    PerNode& state = it->second;
+    if (r == 1) {
+      e.records.push_back(state.selfRecord);
+    } else if (r - 2 < state.layerRecords.size()) {
+      e.records = state.layerRecords[r - 2];
+    }
+    return e;
+  }
+  bool relaysHonest() const override { return false; }
+  const char* name() const override { return "fake-world"; }
+
+ private:
+  struct PerNode {
+    RecordIdx selfRecord = 0;
+    std::vector<std::vector<PublicId>> layers;          // fake ids per depth
+    std::vector<std::vector<RecordIdx>> layerRecords;   // registered records per depth
+    std::unordered_map<PublicId, PublicId> parentOf;
+  };
+
+  /// Registers records for layer `depth`, whose children are `nextLayer`
+  /// (distributed by parentOf bookkeeping done during generation).
+  void registerLayer(LocalAttackContext& ctx, PerNode& state, std::size_t depth,
+                     const std::vector<PublicId>& nextLayer) {
+    if (depth >= state.layers.size()) return;
+    if (depth < state.layerRecords.size() && !state.layerRecords[depth].empty()) return;
+    // children grouped by parent
+    std::unordered_map<PublicId, std::vector<PublicId>> childrenOf;
+    for (PublicId c : nextLayer) childrenOf[state.parentOf.at(c)].push_back(c);
+    std::vector<RecordIdx> records;
+    for (PublicId id : state.layers[depth]) {
+      std::vector<PublicId> adj;
+      adj.push_back(state.parentOf.at(id));
+      const auto cit = childrenOf.find(id);
+      if (cit != childrenOf.end()) {
+        for (PublicId c : cit->second) adj.push_back(c);
+      }
+      records.push_back(ctx.pool.addFake(id, adj));
+    }
+    if (state.layerRecords.size() <= depth) state.layerRecords.resize(depth + 1);
+    state.layerRecords[depth] = std::move(records);
+  }
+
+  FakeWorldConfig config_;
+  std::unordered_map<NodeId, PerNode> perNode_;
+};
+
+}  // namespace
+
+std::unique_ptr<LocalAdversary> makeHonestLocalAdversary() {
+  return std::make_unique<HonestLocalAdversary>();
+}
+std::unique_ptr<LocalAdversary> makeSilentLocalAdversary(Round muteFrom) {
+  return std::make_unique<SilentLocalAdversary>(muteFrom);
+}
+std::unique_ptr<LocalAdversary> makeConflictLocalAdversary() {
+  return std::make_unique<ConflictLocalAdversary>();
+}
+std::unique_ptr<LocalAdversary> makeDegreeBombLocalAdversary() {
+  return std::make_unique<DegreeBombLocalAdversary>();
+}
+std::unique_ptr<LocalAdversary> makeFakeWorldLocalAdversary(const FakeWorldConfig& config) {
+  return std::make_unique<FakeWorldLocalAdversary>(config);
+}
+
+}  // namespace bzc

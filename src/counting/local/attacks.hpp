@@ -1,0 +1,85 @@
+// Adversaries against Algorithm 1.
+//
+// A LocalAdversary scripts every Byzantine node's per-round emissions: which
+// records (pool indices) it broadcasts, whether it stays mute, and whether it
+// relays honest traffic. The adversary is omniscient (full-information
+// model): prepare() sees the graph, the Byzantine set and the ID space, and
+// may precompute arbitrarily elaborate fake worlds.
+//
+// Strategies:
+//  - HonestLocal:  Byzantine nodes follow the protocol (control runs).
+//  - SilentLocal:  never send anything. The mute rule (Line 5) then makes
+//                  estimates collapse to distance-to-Byzantine — the
+//                  lower end of Theorem 1's window.
+//  - ConflictLocal: broadcast forged records contradicting honest neighbours'
+//                  adjacency (the Lemma 4 contradiction; flooding turns it
+//                  into an everywhere-detection).
+//  - DegreeBombLocal: broadcast a record with degree > Δ (Line 17 trigger).
+//  - FakeWorldLocal: the Remark 1 attack. Each Byzantine node rewrites its
+//                  own record to drop real neighbours (those *away* from the
+//                  victim) and attach a fabricated subtree, then feeds fake
+//                  layers round by round, growing them geometrically so the
+//                  victim's view keeps passing the ball-growth check. Honest
+//                  records are NOT relayed (the moat suppresses the truth).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "counting/local/view.hpp"
+#include "graph/graph.hpp"
+#include "sim/byzantine.hpp"
+#include "sim/ids.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+struct LocalAttackContext {
+  const Graph& graph;
+  const ByzantineSet& byz;
+  const IdSpace& ids;
+  RecordPool& pool;  ///< attacks register fabricated records here (in prepare)
+  Rng& rng;
+  NodeId victim = 0;  ///< focus node for targeted strategies
+};
+
+class LocalAdversary {
+ public:
+  virtual ~LocalAdversary() = default;
+
+  /// Called once before round 1; register all fabricated pool records here.
+  virtual void prepare(LocalAttackContext& ctx) { (void)ctx; }
+
+  struct Emission {
+    bool mute = false;                 ///< send nothing at all this round
+    std::vector<RecordIdx> records;    ///< fabricated records to broadcast
+  };
+
+  /// What Byzantine node b sends in round r (on top of honest relaying when
+  /// relaysHonest() is true).
+  [[nodiscard]] virtual Emission emit(NodeId b, Round r) = 0;
+
+  /// Whether Byzantine nodes forward honest records they receive.
+  [[nodiscard]] virtual bool relaysHonest() const { return true; }
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+struct FakeWorldConfig {
+  double growthFactor = 1.4;        ///< fake layer size multiplier per round
+  std::uint32_t firstLayerWidth = 4;///< fake children attached per Byzantine node
+  std::uint32_t layerCap = 512;     ///< max fabricated records per layer per node
+  std::uint32_t totalBudget = 8192; ///< global fabrication budget (split across
+                                    ///< Byzantine nodes; bounds simulation memory)
+  std::uint32_t depthCap = 40;      ///< stop fabricating past this depth
+};
+
+[[nodiscard]] std::unique_ptr<LocalAdversary> makeHonestLocalAdversary();
+[[nodiscard]] std::unique_ptr<LocalAdversary> makeSilentLocalAdversary(Round muteFrom = 1);
+[[nodiscard]] std::unique_ptr<LocalAdversary> makeConflictLocalAdversary();
+[[nodiscard]] std::unique_ptr<LocalAdversary> makeDegreeBombLocalAdversary();
+[[nodiscard]] std::unique_ptr<LocalAdversary> makeFakeWorldLocalAdversary(
+    const FakeWorldConfig& config = {});
+
+}  // namespace bzc

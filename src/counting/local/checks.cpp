@@ -1,0 +1,82 @@
+#include "counting/local/checks.hpp"
+
+#include <algorithm>
+
+#include "graph/expansion.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+ExpansionVerdict ExpansionMonitor::inspect(const LocalView& view, Round round) {
+  if (params_.ballGrowthEnabled && !ballGrowthHealthy(view, round)) {
+    return ExpansionVerdict::BallGrowthViolation;
+  }
+  if (params_.spectralEnabled && view.size() >= params_.spectralMinSize && !sweepHealthy(view)) {
+    return ExpansionVerdict::SparseCutDetected;
+  }
+  return ExpansionVerdict::Healthy;
+}
+
+bool ExpansionMonitor::ballGrowthHealthy(const LocalView& view, Round round) const {
+  const auto& layers = view.layerCounts();
+  std::size_t prefix = 0;
+  for (Round j = 0; j <= round && j < layers.size(); ++j) {
+    prefix += layers[j];
+    // Out(S_j) in the next view: the following layer, except for the newest
+    // prefix whose Out is the referenced-but-unintegrated boundary.
+    const std::size_t out = (j + 1 < layers.size() && j < round)
+                                ? layers[j + 1]
+                                : view.boundarySize();
+    if (prefix == 0) continue;
+    if (static_cast<double>(out) < params_.alphaPrime * static_cast<double>(prefix)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ExpansionMonitor::sweepHealthy(const LocalView& view) {
+  const Graph g = view.buildViewGraph();
+  if (g.numNodes() < 4) return true;
+  const std::vector<double>* warm =
+      warmFiedler_.size() == g.numNodes() ? &warmFiedler_ : nullptr;
+  // Warm-started: a handful of iterations per round tracks the slowly
+  // changing cut structure; a cold start gets a deeper solve.
+  const unsigned iters = warm != nullptr ? params_.spectralIters : 5 * params_.spectralIters;
+  warmFiedler_ = fiedlerVector(g, iters, rng_, warm);
+  // Order integrated vertices by the Fiedler value; boundary vertices are
+  // excluded from the candidate prefixes (S must lie inside B̂(u,i)) but
+  // still count toward Out(S) via sweepCutByOrder's full-graph accounting.
+  const auto nInt = static_cast<NodeId>(view.integratedVertexCount());
+  std::vector<NodeId> order(nInt);
+  for (NodeId i = 0; i < nInt; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return warmFiedler_[a] != warmFiedler_[b] ? warmFiedler_[a] < warmFiedler_[b] : a < b;
+  });
+  // Candidate prefixes stay within the integrated part (S ⊆ B̂(u,i));
+  // boundary vertices still count toward Out(S) via the graph.
+  auto violating = [&](const SweepCut& cut) {
+    return cut.smallSide >= params_.spectralMinSide && cut.expansion < params_.alphaPrime;
+  };
+  if (violating(sweepCutByOrder(g, order, nInt))) return false;
+  std::reverse(order.begin(), order.end());
+  return !violating(sweepCutByOrder(g, order, nInt));
+}
+
+double exactViewSubsetExpansion(const LocalView& view) {
+  const Graph g = view.buildViewGraph();
+  const auto nInt = static_cast<NodeId>(view.integratedVertexCount());
+  BZC_REQUIRE(nInt >= 1 && nInt <= 20, "exact check limited to <= 20 integrated vertices");
+  double best = static_cast<double>(g.numNodes());
+  std::vector<NodeId> members;
+  for (std::uint32_t mask = 1; mask < (1u << nInt); ++mask) {
+    members.clear();
+    for (NodeId u = 0; u < nInt; ++u) {
+      if (mask & (1u << u)) members.push_back(u);
+    }
+    best = std::min(best, vertexExpansionOfSet(g, members));
+  }
+  return best;
+}
+
+}  // namespace bzc

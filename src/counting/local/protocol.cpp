@@ -1,0 +1,181 @@
+#include "counting/local/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "sim/ids.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+namespace {
+constexpr std::size_t kHeartbeatBits = 16;
+
+std::size_t recordBits(const RecordPool& pool, RecordIdx r) {
+  // One ID for the subject plus one per incident edge.
+  return IdSpace::bitsPerId() * (1 + pool.degree(r));
+}
+}  // namespace
+
+LocalOutcome runLocalCounting(const Graph& g, const ByzantineSet& byz, LocalAdversary& adversary,
+                              const LocalParams& params, Rng& rng, NodeId victim) {
+  const NodeId n = g.numNodes();
+  BZC_REQUIRE(n >= 2, "network too small");
+  BZC_REQUIRE(byz.numNodes() == n, "byzantine set size mismatch");
+
+  const std::uint32_t maxDegree = params.maxDegree > 0 ? params.maxDegree : g.maxDegree();
+  const Round cap = params.maxRounds > 0
+                        ? params.maxRounds
+                        : static_cast<Round>(4.0 * std::log2(static_cast<double>(n))) + 48;
+
+  Rng idRng = rng.fork(0x1d5);
+  const IdSpace ids(n, idRng);
+  RecordPool pool(g, ids);
+  Rng atkRng = rng.fork(0xa77);
+  LocalAttackContext ctx{g, byz, ids, pool, atkRng, victim};
+  adversary.prepare(ctx);
+
+  LocalOutcome out;
+  out.result.decisions.assign(n, {});
+  out.result.meter = MessageMeter(n);
+  out.stats.reason.assign(n, LocalDecideReason::Undecided);
+  out.stats.distToByz = byz.distanceToByzantine(g);
+
+  // Every node keeps a view: honest nodes for the protocol, Byzantine nodes
+  // (when the strategy relays) for dedup-forwarding of honest traffic.
+  std::vector<LocalView> views;
+  views.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    views.emplace_back(&pool, maxDegree);
+    views.back().installSelf(static_cast<RecordIdx>(u));
+  }
+  std::vector<ExpansionMonitor> monitors;
+  monitors.reserve(n);
+  Rng monRng = rng.fork(0x57ec);
+  for (NodeId u = 0; u < n; ++u) monitors.emplace_back(params.checks, monRng.next());
+
+  std::vector<char> decided(n, 0);
+  std::size_t undecidedHonest = n - byz.count();
+
+  auto decide = [&](NodeId u, Round r, LocalDecideReason why) {
+    decided[u] = 1;
+    --undecidedHonest;
+    out.stats.reason[u] = why;
+    out.result.decisions[u].decided = true;
+    out.result.decisions[u].round = r;
+    out.result.decisions[u].estimate = static_cast<double>(r);
+    switch (why) {
+      case LocalDecideReason::Inconsistency: ++out.stats.inconsistencyDecisions; break;
+      case LocalDecideReason::MuteNeighbor: ++out.stats.muteDecisions; break;
+      case LocalDecideReason::BallGrowth: ++out.stats.ballGrowthDecisions; break;
+      case LocalDecideReason::SparseCut: ++out.stats.sparseCutDecisions; break;
+      case LocalDecideReason::Undecided: break;
+    }
+  };
+
+  struct Outgoing {
+    bool sends = false;
+    std::size_t sliceBegin = 0;  // into the sender's integration log
+    std::size_t sliceEnd = 0;
+    std::vector<RecordIdx> extra;  // adversarial fabrications
+  };
+  std::vector<Outgoing> outgoing(n);
+
+  Round round = 1;
+  for (round = 1; round <= cap && undecidedHonest > 0; ++round) {
+    // --- Emission phase. ---
+    for (NodeId u = 0; u < n; ++u) {
+      Outgoing& o = outgoing[u];
+      o.extra.clear();
+      if (byz.contains(u)) {
+        auto emission = adversary.emit(u, round);
+        o.sends = !emission.mute;
+        o.extra = std::move(emission.records);
+        if (adversary.relaysHonest() && o.sends) {
+          o.sliceBegin = views[u].roundMark(round - 1);
+          o.sliceEnd = views[u].roundMark(round);
+        } else {
+          o.sliceBegin = o.sliceEnd = 0;
+        }
+        continue;
+      }
+      if (decided[u]) {
+        o.sends = false;  // terminated nodes are mute (this is what Line 5 sees)
+        continue;
+      }
+      o.sends = true;
+      o.sliceBegin = views[u].roundMark(round - 1);
+      o.sliceEnd = views[u].roundMark(round);
+      std::size_t bits = kHeartbeatBits;
+      const auto& log = views[u].integrationLog();
+      for (std::size_t k = o.sliceBegin; k < o.sliceEnd; ++k) bits += recordBits(pool, log[k]);
+      out.result.meter.recordBroadcast(u, bits, g.degree(u));
+    }
+
+    // --- Delivery & integration. ---
+    for (NodeId u = 0; u < n; ++u) {
+      if (decided[u]) continue;
+      const bool isByz = byz.contains(u);
+      if (isByz && !adversary.relaysHonest()) continue;  // no view upkeep needed
+      bool decidedNow = false;
+      // Line 5: a mute neighbour triggers an immediate decision.
+      if (!isByz) {
+        for (NodeId w : g.neighbors(u)) {
+          if (!outgoing[w].sends) {
+            decide(u, round, LocalDecideReason::MuteNeighbor);
+            decidedNow = true;
+            break;
+          }
+        }
+        if (decidedNow) continue;
+      }
+      LocalView& view = views[u];
+      for (NodeId w : g.neighbors(u) ) {
+        const Outgoing& o = outgoing[w];
+        if (!o.sends) continue;  // byzantine relay path reaches here
+        const auto& log = views[w].integrationLog();
+        for (std::size_t k = o.sliceBegin; k < o.sliceEnd && !decidedNow; ++k) {
+          const RecordIdx rec = log[k];
+          if (view.knows(rec)) continue;
+          const IntegrationVerdict v = view.integrate(rec, round);
+          if (!isByz && v != IntegrationVerdict::Ok && v != IntegrationVerdict::Duplicate) {
+            decide(u, round, LocalDecideReason::Inconsistency);
+            decidedNow = true;
+          }
+        }
+        for (std::size_t k = 0; k < o.extra.size() && !decidedNow; ++k) {
+          const RecordIdx rec = o.extra[k];
+          if (view.knows(rec)) continue;
+          const IntegrationVerdict v = view.integrate(rec, round);
+          if (!isByz && v != IntegrationVerdict::Ok && v != IntegrationVerdict::Duplicate) {
+            decide(u, round, LocalDecideReason::Inconsistency);
+            decidedNow = true;
+          }
+        }
+        if (decidedNow) break;
+      }
+    }
+
+    // --- Expansion checks (Lines 9-13). ---
+    for (NodeId u = 0; u < n; ++u) {
+      if (byz.contains(u) || decided[u]) continue;
+      switch (monitors[u].inspect(views[u], round)) {
+        case ExpansionVerdict::Healthy: break;
+        case ExpansionVerdict::BallGrowthViolation:
+          decide(u, round, LocalDecideReason::BallGrowth);
+          break;
+        case ExpansionVerdict::SparseCutDetected:
+          decide(u, round, LocalDecideReason::SparseCut);
+          break;
+      }
+    }
+  }
+
+  out.result.totalRounds = std::min<Round>(round, cap);
+  out.result.hitRoundCap = undecidedHonest > 0;
+  out.stats.undecidedAtCap = undecidedHonest;
+  return out;
+}
+
+}  // namespace bzc

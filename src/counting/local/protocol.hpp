@@ -1,0 +1,65 @@
+// Algorithm 1: time-optimal deterministic Byzantine counting in LOCAL.
+//
+// Faithful round structure (Algorithm 1 of the paper):
+//   - every round, each undecided honest node broadcasts the records it
+//     learned in the previous round (delta flooding — informationally equal
+//     to rebroadcasting B̂(u,i), DESIGN.md §2) plus a heartbeat;
+//   - a node decides on the current round number i when it
+//       (a) integrates inconsistent information (degree bound, conflicting
+//           alias, one-sided edge claim)                       [Line 5/17/18]
+//       (b) observes a mute neighbour                          [Line 5]
+//       (c) detects an expansion violation in its view         [Lines 9-13]
+//   - deciding nodes fall silent, which propagates decisions (Lemma 5 uses
+//     exactly this cascade).
+//
+// DecisionRecord::estimate is the decision round i; Theorem 1 places it in
+// [γ/2·log_Δ n, diam(G)+1] for the n-o(n) nodes of the Good set.
+#pragma once
+
+#include <memory>
+
+#include "counting/common.hpp"
+#include "counting/local/attacks.hpp"
+#include "counting/local/checks.hpp"
+#include "graph/graph.hpp"
+#include "sim/byzantine.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+struct LocalParams {
+  std::uint32_t maxDegree = 0;  ///< Δ known to all nodes; 0 = graph's max degree
+  LocalCheckParams checks;
+  Round maxRounds = 0;  ///< simulation cap; 0 = 4*log2(n) + 48
+};
+
+enum class LocalDecideReason : std::uint8_t {
+  Undecided,
+  Inconsistency,  ///< degree bound / conflict / mutual mismatch
+  MuteNeighbor,
+  BallGrowth,
+  SparseCut,
+};
+
+struct LocalRunStats {
+  std::vector<LocalDecideReason> reason;  ///< per node
+  std::vector<std::uint32_t> distToByz;   ///< per node (kUnreachable if none)
+  std::size_t inconsistencyDecisions = 0;
+  std::size_t muteDecisions = 0;
+  std::size_t ballGrowthDecisions = 0;
+  std::size_t sparseCutDecisions = 0;
+  std::size_t undecidedAtCap = 0;
+};
+
+struct LocalOutcome {
+  CountingResult result;
+  LocalRunStats stats;
+};
+
+/// Runs Algorithm 1. The adversary's prepare() hook is called before round 1
+/// with a context whose victim is `victim` (used by targeted strategies).
+[[nodiscard]] LocalOutcome runLocalCounting(const Graph& g, const ByzantineSet& byz,
+                                            LocalAdversary& adversary, const LocalParams& params,
+                                            Rng& rng, NodeId victim = 0);
+
+}  // namespace bzc

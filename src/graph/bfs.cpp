@@ -1,0 +1,130 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+namespace {
+
+void bfsFrom(const Graph& g, std::vector<std::uint32_t>& dist, std::vector<NodeId>& queue) {
+  // `queue` holds the sources with dist already set to 0.
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId u = queue[head++];
+    const std::uint32_t du = dist[u];
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfsDistances(const Graph& g, NodeId src) {
+  BZC_REQUIRE(src < g.numNodes(), "bfs source out of range");
+  std::vector<std::uint32_t> dist(g.numNodes(), kUnreachable);
+  std::vector<NodeId> queue;
+  queue.reserve(g.numNodes());
+  dist[src] = 0;
+  queue.push_back(src);
+  bfsFrom(g, dist, queue);
+  return dist;
+}
+
+std::vector<std::uint32_t> multiSourceBfsDistances(const Graph& g,
+                                                   const std::vector<NodeId>& srcs) {
+  std::vector<std::uint32_t> dist(g.numNodes(), kUnreachable);
+  std::vector<NodeId> queue;
+  queue.reserve(g.numNodes());
+  for (NodeId s : srcs) {
+    BZC_REQUIRE(s < g.numNodes(), "bfs source out of range");
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  bfsFrom(g, dist, queue);
+  return dist;
+}
+
+std::vector<NodeId> ball(const Graph& g, NodeId u, std::uint32_t r) {
+  BZC_REQUIRE(u < g.numNodes(), "ball centre out of range");
+  std::vector<std::uint32_t> dist(g.numNodes(), kUnreachable);
+  std::vector<NodeId> order;
+  dist[u] = 0;
+  order.push_back(u);
+  std::size_t head = 0;
+  while (head < order.size()) {
+    const NodeId w = order[head++];
+    if (dist[w] == r) continue;
+    for (NodeId v : g.neighbors(w)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[w] + 1;
+        order.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::size_t> ballSizes(const Graph& g, NodeId u, std::uint32_t r) {
+  const auto dist = bfsDistances(g, u);
+  std::vector<std::size_t> cumulative(r + 1, 0);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    if (dist[v] <= r) ++cumulative[dist[v]];
+  }
+  for (std::uint32_t j = 1; j <= r; ++j) cumulative[j] += cumulative[j - 1];
+  return cumulative;
+}
+
+bool isConnected(const Graph& g) {
+  if (g.numNodes() == 0) return true;
+  const auto dist = bfsDistances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId u) {
+  const auto dist = bfsDistances(g, u);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t exactDiameter(const Graph& g) {
+  std::uint32_t diameter = 0;
+  for (NodeId u = 0; u < g.numNodes(); ++u) diameter = std::max(diameter, eccentricity(g, u));
+  return diameter;
+}
+
+std::uint32_t approxDiameter(const Graph& g, unsigned samples) {
+  if (g.numNodes() == 0) return 0;
+  // Double sweep: BFS from an arbitrary node, then repeatedly from the
+  // farthest node found; each sweep's eccentricity lower-bounds the diameter.
+  NodeId start = 0;
+  std::uint32_t best = 0;
+  for (unsigned s = 0; s < samples; ++s) {
+    const auto dist = bfsDistances(g, start);
+    NodeId farthest = start;
+    std::uint32_t ecc = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (dist[v] != kUnreachable && dist[v] > ecc) {
+        ecc = dist[v];
+        farthest = v;
+      }
+    }
+    best = std::max(best, ecc);
+    if (farthest == start) break;
+    start = farthest;
+  }
+  return best;
+}
+
+}  // namespace bzc

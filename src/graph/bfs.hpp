@@ -1,0 +1,40 @@
+// Breadth-first primitives: distances, balls, eccentricity, diameter,
+// connectivity. These back both the analysis tooling (Good-set computation,
+// tree-like checks) and the adversary placements.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace bzc {
+
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+
+/// Distances from src; kUnreachable for disconnected nodes.
+[[nodiscard]] std::vector<std::uint32_t> bfsDistances(const Graph& g, NodeId src);
+
+/// Distances from the nearest of several sources.
+[[nodiscard]] std::vector<std::uint32_t> multiSourceBfsDistances(const Graph& g,
+                                                                 const std::vector<NodeId>& srcs);
+
+/// Inclusive ball B(u, r): nodes within distance r of u, in BFS order.
+[[nodiscard]] std::vector<NodeId> ball(const Graph& g, NodeId u, std::uint32_t r);
+
+/// |B(u, j)| for j = 0..r (cumulative layer sizes).
+[[nodiscard]] std::vector<std::size_t> ballSizes(const Graph& g, NodeId u, std::uint32_t r);
+
+/// True if all nodes are reachable from node 0 (or the graph is empty).
+[[nodiscard]] bool isConnected(const Graph& g);
+
+/// Exact eccentricity of u (max finite distance).
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, NodeId u);
+
+/// Exact diameter via BFS from every node — O(n·m); fine for test sizes.
+[[nodiscard]] std::uint32_t exactDiameter(const Graph& g);
+
+/// Diameter lower bound from `samples` BFS sweeps (double sweep heuristic).
+[[nodiscard]] std::uint32_t approxDiameter(const Graph& g, unsigned samples = 8);
+
+}  // namespace bzc

@@ -1,0 +1,234 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+void appendHamiltonianCycle(EdgeList& edges, NodeId n, Rng& rng) {
+  const auto order = rng.permutation(n);
+  for (NodeId i = 0; i < n; ++i) {
+    edges.emplace_back(order[i], order[(i + 1) % n]);
+  }
+}
+
+}  // namespace
+
+Graph hnd(NodeId n, NodeId d, Rng& rng) {
+  BZC_REQUIRE(n >= 3, "H(n,d) needs n >= 3");
+  BZC_REQUIRE(d >= 2 && d % 2 == 0, "H(n,d) needs even d >= 2");
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * d / 2);
+  for (NodeId c = 0; c < d / 2; ++c) appendHamiltonianCycle(edges, n, rng);
+  return Graph(n, edges);
+}
+
+Graph configurationModel(NodeId n, NodeId d, Rng& rng) {
+  BZC_REQUIRE(static_cast<std::size_t>(n) * d % 2 == 0, "n*d must be even");
+  BZC_REQUIRE(n >= 2 && d >= 1, "configuration model needs n >= 2, d >= 1");
+  // Stubs: node u owns stubs [u*d, (u+1)*d). A uniform perfect matching of
+  // stubs is a random pairing; we re-shuffle a few times if self-loops occur,
+  // then repair remaining self-loops by swapping with a random other pair.
+  std::vector<NodeId> stubs(static_cast<std::size_t>(n) * d);
+  for (std::size_t s = 0; s < stubs.size(); ++s) stubs[s] = static_cast<NodeId>(s / d);
+
+  EdgeList edges;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    rng.shuffle(stubs);
+    bool hasLoop = false;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (stubs[i] == stubs[i + 1]) {
+        hasLoop = true;
+        break;
+      }
+    }
+    if (!hasLoop) {
+      edges.clear();
+      edges.reserve(stubs.size() / 2);
+      for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+        edges.emplace_back(stubs[i], stubs[i + 1]);
+      }
+      return Graph(n, edges);
+    }
+  }
+  // Repair path: pair sequentially, fixing self-loops with swaps.
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] == stubs[i + 1]) {
+      for (int tries = 0; tries < 1000 && stubs[i] == stubs[i + 1]; ++tries) {
+        const std::size_t j = rng.uniform(stubs.size());
+        if (j == i || j == i + 1) continue;
+        if (stubs[j] != stubs[i] && stubs[j ^ 1] != stubs[i + 1]) {
+          std::swap(stubs[i + 1], stubs[j]);
+        }
+      }
+      BZC_CHECK(stubs[i] != stubs[i + 1], "configuration model repair failed");
+    }
+  }
+  edges.clear();
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) edges.emplace_back(stubs[i], stubs[i + 1]);
+  return Graph(n, edges);
+}
+
+Graph wattsStrogatz(NodeId n, NodeId k, double p, Rng& rng) {
+  BZC_REQUIRE(n >= 3, "Watts-Strogatz needs n >= 3");
+  BZC_REQUIRE(k >= 1 && 2 * k < n, "Watts-Strogatz needs 1 <= k < n/2");
+  BZC_REQUIRE(p >= 0.0 && p <= 1.0, "rewire probability out of range");
+  // Track the simple-graph edge set to avoid duplicates when rewiring.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto key = [](NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+  std::vector<std::uint64_t> present;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId j = 1; j <= k; ++j) {
+      const NodeId v = static_cast<NodeId>((u + j) % n);
+      edges.emplace_back(u, v);
+      present.push_back(key(u, v));
+    }
+  }
+  std::sort(present.begin(), present.end());
+  auto exists = [&](NodeId a, NodeId b) {
+    return std::binary_search(present.begin(), present.end(), key(a, b));
+  };
+  for (auto& [u, v] : edges) {
+    if (!rng.bernoulli(p)) continue;
+    // Rewire the far endpoint to a uniform non-neighbour.
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto w = static_cast<NodeId>(rng.uniform(n));
+      if (w == u || w == v || exists(u, w)) continue;
+      // Remove old key, insert new (lazy: mark by re-sorting at the end is
+      // costlier; do a linear erase on the sorted vector).
+      const auto oldKey = key(u, v);
+      const auto it = std::lower_bound(present.begin(), present.end(), oldKey);
+      if (it != present.end() && *it == oldKey) present.erase(it);
+      const auto newKey = key(u, w);
+      present.insert(std::upper_bound(present.begin(), present.end(), newKey), newKey);
+      v = w;
+      break;
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph ring(NodeId n) {
+  BZC_REQUIRE(n >= 3, "ring needs n >= 3");
+  EdgeList edges;
+  edges.reserve(n);
+  for (NodeId u = 0; u < n; ++u) edges.emplace_back(u, static_cast<NodeId>((u + 1) % n));
+  return Graph(n, edges);
+}
+
+Graph path(NodeId n) {
+  BZC_REQUIRE(n >= 2, "path needs n >= 2");
+  EdgeList edges;
+  edges.reserve(n - 1);
+  for (NodeId u = 0; u + 1 < n; ++u) edges.emplace_back(u, static_cast<NodeId>(u + 1));
+  return Graph(n, edges);
+}
+
+Graph star(NodeId n) {
+  BZC_REQUIRE(n >= 2, "star needs n >= 2");
+  EdgeList edges;
+  edges.reserve(n - 1);
+  for (NodeId u = 1; u < n; ++u) edges.emplace_back(0, u);
+  return Graph(n, edges);
+}
+
+Graph complete(NodeId n) {
+  BZC_REQUIRE(n >= 2, "complete graph needs n >= 2");
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) edges.emplace_back(u, v);
+  return Graph(n, edges);
+}
+
+Graph binaryTree(NodeId n) {
+  BZC_REQUIRE(n >= 2, "tree needs n >= 2");
+  EdgeList edges;
+  edges.reserve(n - 1);
+  for (NodeId u = 1; u < n; ++u) edges.emplace_back(u, static_cast<NodeId>((u - 1) / 2));
+  return Graph(n, edges);
+}
+
+Graph hypercube(unsigned dimensions) {
+  BZC_REQUIRE(dimensions >= 1 && dimensions < 25, "hypercube dimension out of range");
+  const NodeId n = static_cast<NodeId>(1) << dimensions;
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * dimensions / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned b = 0; b < dimensions; ++b) {
+      const NodeId v = u ^ (static_cast<NodeId>(1) << b);
+      if (v > u) edges.emplace_back(u, v);
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph torus2d(NodeId rows, NodeId cols) {
+  BZC_REQUIRE(rows >= 3 && cols >= 3, "torus needs both sides >= 3");
+  const NodeId n = rows * cols;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, static_cast<NodeId>((c + 1) % cols)));
+      edges.emplace_back(id(r, c), id(static_cast<NodeId>((r + 1) % rows), c));
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph gluedCopies(const Graph& base, NodeId hub, NodeId copies) {
+  BZC_REQUIRE(hub < base.numNodes(), "hub out of range");
+  BZC_REQUIRE(copies >= 1, "need at least one copy");
+  const NodeId m = base.numNodes();
+  const NodeId perCopy = m - 1;  // every copy contributes all nodes except the shared hub
+  const NodeId n = 1 + copies * perCopy;
+  // Map base node v (v != hub) of copy c to its global index.
+  auto map = [&](NodeId c, NodeId v) -> NodeId {
+    const NodeId local = v < hub ? v : static_cast<NodeId>(v - 1);
+    return static_cast<NodeId>(1 + c * perCopy + local);
+  };
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(base.numEdges()) * copies);
+  const auto baseEdges = base.edgeList();
+  for (NodeId c = 0; c < copies; ++c) {
+    for (const auto& [u, v] : baseEdges) {
+      const NodeId gu = (u == hub) ? 0 : map(c, u);
+      const NodeId gv = (v == hub) ? 0 : map(c, v);
+      edges.emplace_back(gu, gv);
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph barbell(NodeId m, NodeId d, NodeId bridgeWidth, Rng& rng) {
+  BZC_REQUIRE(bridgeWidth >= 1, "barbell needs at least one bridge edge");
+  Rng left = rng.fork(1);
+  Rng right = rng.fork(2);
+  const Graph a = hnd(m, d, left);
+  const Graph b = hnd(m, d, right);
+  EdgeList edges = a.edgeList();
+  for (auto [u, v] : b.edgeList()) {
+    edges.emplace_back(static_cast<NodeId>(u + m), static_cast<NodeId>(v + m));
+  }
+  for (NodeId i = 0; i < bridgeWidth; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform(m));
+    const auto v = static_cast<NodeId>(m + rng.uniform(m));
+    edges.emplace_back(u, v);
+  }
+  return Graph(static_cast<NodeId>(2 * m), edges);
+}
+
+}  // namespace bzc

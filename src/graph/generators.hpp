@@ -1,0 +1,59 @@
+// Graph generators for every topology the paper's model section and proofs
+// refer to.
+//
+//  - hnd():             the H(n,d) permutation model — union of d/2 random
+//                       Hamiltonian cycles (§2 "Network topology for the
+//                       second algorithm"); Ramanujan expander w.h.p.
+//  - configurationModel(): the pairing model the paper cites as contiguous
+//                       with H(n,d) (Greenhill et al.).
+//  - wattsStrogatz():   small-world networks, the setting of the prior work
+//                       [14] our algorithms are compared against.
+//  - ring()/path()/torus2d()/star()/binaryTree(): low-expansion topologies
+//                       used by the impossibility experiments (Theorem 3).
+//  - gluedCopies():     the Theorem 3 gadget — t copies of a base graph
+//                       sharing one designated (Byzantine) node.
+//  - barbell():         two expanders joined by a narrow bridge; used to
+//                       stress the expansion checkers of Algorithm 1.
+//  - hypercube()/complete(): reference topologies for tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+/// H(n,d): union of d/2 independent uniform Hamiltonian cycles on [0, n).
+/// Requires even d >= 2 and n >= 3. May contain parallel edges (kept).
+[[nodiscard]] Graph hnd(NodeId n, NodeId d, Rng& rng);
+
+/// Configuration (pairing) model for a d-regular multigraph; pairings that
+/// produce self-loops are re-drawn a bounded number of times, then the
+/// offending stubs are re-matched greedily. Parallel edges are kept.
+[[nodiscard]] Graph configurationModel(NodeId n, NodeId d, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbours per
+/// side, each edge rewired with probability p.
+[[nodiscard]] Graph wattsStrogatz(NodeId n, NodeId k, double p, Rng& rng);
+
+[[nodiscard]] Graph ring(NodeId n);
+[[nodiscard]] Graph path(NodeId n);
+[[nodiscard]] Graph star(NodeId n);
+[[nodiscard]] Graph complete(NodeId n);
+[[nodiscard]] Graph binaryTree(NodeId n);
+[[nodiscard]] Graph hypercube(unsigned dimensions);
+
+/// rows x cols torus (wrap-around 2-D grid); degree 4 when rows, cols >= 3.
+[[nodiscard]] Graph torus2d(NodeId rows, NodeId cols);
+
+/// Theorem 3 gadget: `copies` disjoint copies of `base` all sharing the
+/// single node `hub` (of the base graph). The shared node is placed at
+/// index 0 of the result; copy c's node v (v != hub) maps to
+/// 1 + c*(|base|-1) + (v adjusted for the removed hub).
+[[nodiscard]] Graph gluedCopies(const Graph& base, NodeId hub, NodeId copies);
+
+/// Two H(m,d) expanders connected by `bridgeWidth` random cross edges.
+[[nodiscard]] Graph barbell(NodeId m, NodeId d, NodeId bridgeWidth, Rng& rng);
+
+}  // namespace bzc

@@ -1,0 +1,88 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+Graph::Graph(NodeId numNodes, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  offsets_.assign(static_cast<std::size_t>(numNodes) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    BZC_REQUIRE(u < numNodes && v < numNodes, "edge endpoint out of range");
+    BZC_REQUIRE(u != v, "self-loops are not supported");
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  adjacency_.resize(edges.size() * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    adjacency_[cursor[u]++] = v;
+    adjacency_[cursor[v]++] = u;
+  }
+  for (NodeId u = 0; u < numNodes; ++u) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]));
+    maxDegree_ = std::max(maxDegree_, degree(u));
+  }
+}
+
+bool Graph::hasEdge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t Graph::multiEdgeCount() const {
+  std::size_t duplicates = 0;
+  for (NodeId u = 0; u < numNodes(); ++u) {
+    const auto nbrs = neighbors(u);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      if (nbrs[i] == nbrs[i - 1]) ++duplicates;
+    }
+  }
+  return duplicates / 2;
+}
+
+Graph Graph::simplified() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(numEdges());
+  for (NodeId u = 0; u < numNodes(); ++u) {
+    NodeId prev = kNoNode;
+    for (NodeId v : neighbors(u)) {
+      if (v > u && v != prev) edges.emplace_back(u, v);
+      prev = v;
+    }
+  }
+  return Graph(numNodes(), edges);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edgeList() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(numEdges());
+  for (NodeId u = 0; u < numNodes(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (v >= u) edges.emplace_back(u, v);  // v == u impossible (no loops)
+    }
+  }
+  return edges;
+}
+
+std::pair<Graph, std::vector<NodeId>> Graph::inducedSubgraph(
+    const std::vector<NodeId>& keep) const {
+  std::vector<NodeId> oldToNew(numNodes(), kNoNode);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    BZC_REQUIRE(keep[i] < numNodes(), "kept node out of range");
+    BZC_REQUIRE(oldToNew[keep[i]] == kNoNode, "duplicate node in keep list");
+    oldToNew[keep[i]] = static_cast<NodeId>(i);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u : keep) {
+    for (NodeId v : neighbors(u)) {
+      if (oldToNew[v] != kNoNode && v > u) edges.emplace_back(oldToNew[u], oldToNew[v]);
+    }
+  }
+  return {Graph(static_cast<NodeId>(keep.size()), edges), std::move(oldToNew)};
+}
+
+}  // namespace bzc

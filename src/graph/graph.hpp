@@ -1,0 +1,60 @@
+// Immutable undirected graph in compressed sparse row form.
+//
+// The paper's networks are sparse (constant maximum degree), so adjacency is
+// the hot data structure of every simulation; CSR keeps each node's neighbour
+// list contiguous. Multigraphs are supported because the H(n,d) permutation
+// model (union of d/2 Hamiltonian cycles) can produce parallel edges.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace bzc {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list over nodes [0, n). Parallel edges are kept
+  /// (each contributes to both endpoints' degrees); self-loops are rejected.
+  Graph(NodeId numNodes, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  [[nodiscard]] NodeId numNodes() const noexcept { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  [[nodiscard]] std::size_t numEdges() const noexcept { return adjacency_.size() / 2; }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u], adjacency_.data() + offsets_[u + 1]};
+  }
+  [[nodiscard]] NodeId degree(NodeId u) const {
+    return static_cast<NodeId>(offsets_[u + 1] - offsets_[u]);
+  }
+  [[nodiscard]] NodeId maxDegree() const noexcept { return maxDegree_; }
+
+  /// True if v appears in u's adjacency (O(deg) scan; degrees are constant).
+  [[nodiscard]] bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Number of parallel edges collapsed when viewing this as a simple graph.
+  [[nodiscard]] std::size_t multiEdgeCount() const;
+
+  /// Simple-graph copy: parallel edges collapsed.
+  [[nodiscard]] Graph simplified() const;
+
+  /// Edge list (u < v per entry, parallel edges repeated).
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edgeList() const;
+
+  /// Induced subgraph on `keep` (indices renumbered densely in keep-order).
+  /// Also returns the old->new index map (kNoNode for dropped nodes).
+  [[nodiscard]] std::pair<Graph, std::vector<NodeId>> inducedSubgraph(
+      const std::vector<NodeId>& keep) const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;     // size 2m, sorted per node
+  NodeId maxDegree_ = 0;
+};
+
+}  // namespace bzc

@@ -1,0 +1,69 @@
+#include "graph/tree_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+std::uint32_t treeLikeRadius(NodeId n, NodeId d) {
+  BZC_REQUIRE(n >= 2 && d >= 2, "radius undefined for degenerate graphs");
+  const double r = std::log(static_cast<double>(n)) / (10.0 * std::log(static_cast<double>(d)));
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(r));
+}
+
+bool isLocallyTreeLike(const Graph& g, NodeId u, std::uint32_t r) {
+  BZC_REQUIRE(u < g.numNodes(), "node out of range");
+  // BFS to radius r. BFS discovers each ball node through exactly one (tree)
+  // edge; the ball is a tree iff no *other* edge connects two ball nodes.
+  // Because BFS enqueues all of layer j before processing any layer-j node,
+  // every non-tree edge inside the ball eventually shows up while scanning
+  // some node w as a neighbour v that is already visited yet is not w's
+  // parent — or as a parallel edge to the parent (adjacent duplicates in the
+  // sorted adjacency).
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  std::vector<std::uint32_t> dist(g.numNodes(), kUnset);
+  std::vector<NodeId> parent(g.numNodes(), kNoNode);
+  std::vector<NodeId> order;
+  dist[u] = 0;
+  order.push_back(u);
+  std::size_t head = 0;
+  while (head < order.size()) {
+    const NodeId w = order[head++];
+    unsigned parentEdges = 0;
+    for (NodeId v : g.neighbors(w)) {
+      if (v == parent[w]) {
+        if (++parentEdges > 1) return false;  // parallel edge to parent
+        continue;
+      }
+      if (dist[v] == kUnset) {
+        if (dist[w] < r) {
+          dist[v] = dist[w] + 1;
+          parent[v] = w;
+          order.push_back(v);
+        }
+        // dist[w] == r: v lies outside the ball; irrelevant.
+      } else {
+        return false;  // cross / back / duplicate edge within the ball
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t countTreeLike(const Graph& g, std::uint32_t r) {
+  std::size_t count = 0;
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (isLocallyTreeLike(g, u, r)) ++count;
+  }
+  return count;
+}
+
+std::vector<char> treeLikeMask(const Graph& g, std::uint32_t r) {
+  std::vector<char> mask(g.numNodes(), 0);
+  for (NodeId u = 0; u < g.numNodes(); ++u) mask[u] = isLocallyTreeLike(g, u, r) ? 1 : 0;
+  return mask;
+}
+
+}  // namespace bzc

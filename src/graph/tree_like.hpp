@@ -1,0 +1,31 @@
+// Locally tree-like classification (Definition 3 / Lemma 2).
+//
+// A node w of a d-regular graph is locally tree-like up to radius r when the
+// subgraph induced by B(w, r) is a (d-1)-ary tree: every node at BFS layer
+// 1 <= j < r has exactly one neighbour in layer j-1 and d-1 in layer j+1.
+// Lemma 2 asserts that in H(n,d) at radius r = log n / (10 log d), at least
+// n - O(n^0.8) nodes are locally tree-like w.h.p.; experiment T3 measures it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace bzc {
+
+/// The radius Lemma 2 uses: floor(log n / (10 log d)), at least 1.
+[[nodiscard]] std::uint32_t treeLikeRadius(NodeId n, NodeId d);
+
+/// True iff the subgraph induced by B(u, r) is a tree (no cross or parallel
+/// edges, every non-root layer node has exactly one parent).
+[[nodiscard]] bool isLocallyTreeLike(const Graph& g, NodeId u, std::uint32_t r);
+
+/// Number of locally tree-like nodes at radius r.
+[[nodiscard]] std::size_t countTreeLike(const Graph& g, std::uint32_t r);
+
+/// Indicator vector over all nodes.
+[[nodiscard]] std::vector<char> treeLikeMask(const Graph& g, std::uint32_t r);
+
+}  // namespace bzc

@@ -1,0 +1,149 @@
+#include "sim/byzantine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+ByzantineSet::ByzantineSet(NodeId numNodes, std::vector<NodeId> members)
+    : mask_(numNodes, 0), members_(std::move(members)) {
+  for (NodeId u : members_) {
+    BZC_REQUIRE(u < numNodes, "byzantine member out of range");
+    BZC_REQUIRE(mask_[u] == 0, "duplicate byzantine member");
+    mask_[u] = 1;
+  }
+  std::sort(members_.begin(), members_.end());
+}
+
+std::vector<NodeId> ByzantineSet::honestNodes() const {
+  std::vector<NodeId> honest;
+  honest.reserve(mask_.size() - members_.size());
+  for (NodeId u = 0; u < numNodes(); ++u) {
+    if (!mask_[u]) honest.push_back(u);
+  }
+  return honest;
+}
+
+std::vector<std::uint32_t> ByzantineSet::distanceToByzantine(const Graph& g) const {
+  BZC_REQUIRE(g.numNodes() == numNodes(), "graph size mismatch");
+  if (members_.empty()) {
+    return std::vector<std::uint32_t>(g.numNodes(), kUnreachable);
+  }
+  return multiSourceBfsDistances(g, members_);
+}
+
+std::size_t byzantineBudget(NodeId n, double gamma) {
+  BZC_REQUIRE(gamma > 0.0 && gamma < 1.0, "gamma must lie in (0,1)");
+  return static_cast<std::size_t>(std::pow(static_cast<double>(n), 1.0 - gamma));
+}
+
+namespace {
+
+std::vector<NodeId> placeRandom(const Graph& g, std::size_t count, NodeId victim, Rng& rng) {
+  std::vector<NodeId> pool;
+  pool.reserve(g.numNodes());
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (u != victim) pool.push_back(u);
+  }
+  rng.shuffle(pool);
+  pool.resize(std::min(count, pool.size()));
+  return pool;
+}
+
+std::vector<NodeId> placeSpread(const Graph& g, std::size_t count, NodeId victim, Rng& rng) {
+  // Greedy k-center: repeatedly take the node farthest from the chosen set.
+  std::vector<NodeId> chosen;
+  if (count == 0 || g.numNodes() <= 1) return chosen;
+  auto first = static_cast<NodeId>(rng.uniform(g.numNodes()));
+  if (first == victim) first = static_cast<NodeId>((first + 1) % g.numNodes());
+  chosen.push_back(first);
+  auto dist = bfsDistances(g, first);
+  while (chosen.size() < count && chosen.size() + 1 < g.numNodes()) {
+    NodeId farthest = kNoNode;
+    std::uint32_t best = 0;
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+      if (u == victim || dist[u] == kUnreachable) continue;
+      bool taken = false;
+      for (NodeId c : chosen) {
+        if (c == u) {
+          taken = true;
+          break;
+        }
+      }
+      if (!taken && dist[u] >= best) {
+        best = dist[u];
+        farthest = u;
+      }
+    }
+    if (farthest == kNoNode) break;
+    chosen.push_back(farthest);
+    const auto fresh = bfsDistances(g, farthest);
+    for (NodeId u = 0; u < g.numNodes(); ++u) dist[u] = std::min(dist[u], fresh[u]);
+  }
+  return chosen;
+}
+
+std::vector<NodeId> placeBall(const Graph& g, std::size_t count, NodeId victim) {
+  // Take the BFS ordering around the victim, excluding the victim itself, so
+  // the Byzantine budget forms the tightest possible cluster next to it.
+  const auto order = ball(g, victim, g.numNodes());
+  std::vector<NodeId> chosen;
+  chosen.reserve(count);
+  for (NodeId u : order) {
+    if (u == victim) continue;
+    chosen.push_back(u);
+    if (chosen.size() == count) break;
+  }
+  return chosen;
+}
+
+std::vector<NodeId> placeSurround(const Graph& g, std::size_t count, NodeId victim,
+                                  std::uint32_t moatRadius) {
+  // Remark 1: make every edge leaving B(victim, moatRadius) land on a
+  // Byzantine node, i.e. occupy exactly the BFS layer at distance
+  // moatRadius+1, then spend any remaining budget on the next layers.
+  const auto dist = bfsDistances(g, victim);
+  std::vector<NodeId> chosen;
+  for (std::uint32_t layer = moatRadius + 1; chosen.size() < count; ++layer) {
+    bool any = false;
+    for (NodeId u = 0; u < g.numNodes() && chosen.size() < count; ++u) {
+      if (dist[u] == layer) {
+        chosen.push_back(u);
+        any = true;
+      }
+    }
+    if (!any) break;  // graph exhausted
+  }
+  return chosen;
+}
+
+}  // namespace
+
+ByzantineSet placeByzantine(const Graph& g, const PlacementSpec& spec, Rng& rng) {
+  BZC_REQUIRE(spec.victim < g.numNodes() || g.numNodes() == 0, "victim out of range");
+  const std::size_t cap = g.numNodes() > 0 ? g.numNodes() - 1 : 0;
+  const std::size_t count = std::min(spec.count, cap);
+  std::vector<NodeId> members;
+  switch (spec.kind) {
+    case Placement::None:
+      break;
+    case Placement::Random:
+      members = placeRandom(g, count, spec.victim, rng);
+      break;
+    case Placement::Spread:
+      members = placeSpread(g, count, spec.victim, rng);
+      break;
+    case Placement::Ball:
+      members = placeBall(g, count, spec.victim);
+      break;
+    case Placement::Surround:
+      members = placeSurround(g, count, spec.victim, spec.moatRadius);
+      break;
+  }
+  return ByzantineSet(g.numNodes(), std::move(members));
+}
+
+}  // namespace bzc

@@ -1,0 +1,25 @@
+#include "sim/ids.hpp"
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+IdSpace::IdSpace(NodeId n, Rng& rng) {
+  toPublic_.resize(n);
+  toInternal_.reserve(n * 2);
+  for (NodeId u = 0; u < n; ++u) {
+    PublicId id = rng.next();
+    // 64-bit collisions at simulation scale are ~never, but regenerate to
+    // keep the distinct-ID model assumption unconditional.
+    while (id == kNoPublicId || toInternal_.contains(id)) id = rng.next();
+    toPublic_[u] = id;
+    toInternal_.emplace(id, u);
+  }
+}
+
+NodeId IdSpace::lookup(PublicId id) const {
+  const auto it = toInternal_.find(id);
+  return it == toInternal_.end() ? kNoNode : it->second;
+}
+
+}  // namespace bzc

@@ -1,0 +1,37 @@
+// Opaque public identifiers.
+//
+// The paper's model (§2) requires node IDs drawn from an arbitrarily large
+// set whose size is unknown, so that ID bit-length leaks nothing about n
+// ("comparable black boxes"). We realise this with uniform 64-bit IDs,
+// collision-checked at construction; protocol messages and bit-metering use
+// PublicId while the topology and simulator use dense NodeId indices.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace bzc {
+
+class IdSpace {
+ public:
+  /// Assigns distinct random public IDs to nodes [0, n).
+  IdSpace(NodeId n, Rng& rng);
+
+  [[nodiscard]] NodeId size() const noexcept { return static_cast<NodeId>(toPublic_.size()); }
+  [[nodiscard]] PublicId publicId(NodeId u) const { return toPublic_.at(u); }
+
+  /// kNoNode when the ID is unknown (e.g. fabricated by a Byzantine node).
+  [[nodiscard]] NodeId lookup(PublicId id) const;
+
+  /// Bits a message pays to carry one ID.
+  [[nodiscard]] static constexpr std::size_t bitsPerId() noexcept { return 64; }
+
+ private:
+  std::vector<PublicId> toPublic_;
+  std::unordered_map<PublicId, NodeId> toInternal_;
+};
+
+}  // namespace bzc

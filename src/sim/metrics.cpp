@@ -1,0 +1,27 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/stats.hpp"
+
+namespace bzc {
+
+double MessageMeter::fractionWithin(const std::vector<NodeId>& nodes,
+                                    std::size_t bitBudget) const {
+  if (nodes.empty()) return 1.0;
+  std::size_t ok = 0;
+  for (NodeId u : nodes) {
+    if (maxMessageBits(u) <= bitBudget) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(nodes.size());
+}
+
+double MessageMeter::maxBitsQuantile(const std::vector<NodeId>& nodes, double q) const {
+  if (nodes.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(nodes.size());
+  for (NodeId u : nodes) values.push_back(static_cast<double>(maxMessageBits(u)));
+  return quantile(std::move(values), q);
+}
+
+}  // namespace bzc

@@ -1,0 +1,34 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace bzc {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+LogLevel logLevel() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void logLine(LogLevel level, const std::string& message) {
+  std::clog << '[' << levelName(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace bzc

@@ -1,0 +1,34 @@
+// Minimal leveled logger. Simulations are deterministic, so logging exists
+// mainly for example binaries and for debugging failing tests; it defaults
+// to Warn to keep test output quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bzc {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global threshold; messages below it are discarded.
+void setLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel logLevel() noexcept;
+
+namespace detail {
+void logLine(LogLevel level, const std::string& message);
+}
+
+}  // namespace bzc
+
+#define BZC_LOG(level, expr)                                     \
+  do {                                                           \
+    if (static_cast<int>(level) >= static_cast<int>(::bzc::logLevel())) { \
+      std::ostringstream bzc_log_os;                             \
+      bzc_log_os << expr;                                        \
+      ::bzc::detail::logLine(level, bzc_log_os.str());           \
+    }                                                            \
+  } while (false)
+
+#define BZC_INFO(expr) BZC_LOG(::bzc::LogLevel::Info, expr)
+#define BZC_WARN(expr) BZC_LOG(::bzc::LogLevel::Warn, expr)
+#define BZC_DEBUG(expr) BZC_LOG(::bzc::LogLevel::Debug, expr)

@@ -1,0 +1,177 @@
+// Deterministic, portable pseudo-random number generation.
+//
+// We deliberately avoid <random>'s distributions: their output is not
+// specified bit-for-bit across standard library implementations, which would
+// make runs non-reproducible. All draws here are pure functions of the seed.
+//
+// The generator is xoshiro256++ (Blackman & Vigna, public domain reference
+// implementation re-derived here), seeded via SplitMix64. `Rng::fork` derives
+// statistically independent child streams, which the simulator uses to give
+// every node / subsystem its own stream so that adding a draw in one place
+// does not perturb the sequence seen elsewhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+/// SplitMix64 step; used for seeding and stream derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with convenience draw methods.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xb5ad4eceda1ce2a9ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child stream. Mixing the tag through SplitMix64
+  /// ensures forks with nearby tags are decorrelated.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept {
+    std::uint64_t sm = state_[0] ^ rotl(state_[2], 29) ^ (tag * 0x9e3779b97f4a7c15ULL);
+    Rng child(splitmix64(sm));
+    return child;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire-style rejection to avoid
+  /// modulo bias. bound must be positive.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept {
+    BZC_ASSERT(bound > 0);
+    // 128-bit multiply-shift with rejection on the low word.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniformIn(std::int64_t lo, std::int64_t hi) noexcept {
+    BZC_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniformDouble() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniformDouble() < p;
+  }
+
+  /// Geometric draw: number of fair-coin flips up to and including the first
+  /// head, as in the paper's §1.2 estimator (support {1, 2, 3, ...}).
+  [[nodiscard]] std::uint32_t geometricFlips() noexcept {
+    std::uint32_t flips = 1;
+    // Consume 64-bit words of random bits; count leading tails.
+    for (;;) {
+      std::uint64_t word = next();
+      if (word == 0) {
+        flips += 64;
+        continue;
+      }
+      // Position of the first set bit = number of tails before the head.
+      const int tails = __builtin_ctzll(word);
+      return flips + static_cast<std::uint32_t>(tails);
+    }
+  }
+
+  /// Exponential(1) draw via inversion (used by support estimation).
+  [[nodiscard]] double exponential() noexcept {
+    // 1 - uniformDouble() is in (0, 1], keeping log() finite.
+    return -std::log1p(-uniformDouble());
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = uniform(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Random permutation of [0, n).
+  [[nodiscard]] std::vector<std::uint32_t> permutation(std::uint32_t n) {
+    std::vector<std::uint32_t> perm(n);
+    for (std::uint32_t i = 0; i < n; ++i) perm[i] = i;
+    shuffle(perm);
+    return perm;
+  }
+
+  /// Samples k distinct values from [0, n) (k <= n), in selection order.
+  [[nodiscard]] std::vector<std::uint32_t> sampleWithoutReplacement(std::uint32_t n,
+                                                                    std::uint32_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+inline std::vector<std::uint32_t> Rng::sampleWithoutReplacement(std::uint32_t n,
+                                                                std::uint32_t k) {
+  BZC_REQUIRE(k <= n, "sample size exceeds population");
+  // Floyd's algorithm: O(k) expected insertions, no O(n) scratch for small k.
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(uniform(j + 1));
+    bool seen = false;
+    for (std::uint32_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  return chosen;
+}
+
+}  // namespace bzc

@@ -1,0 +1,66 @@
+// Summary statistics, histograms and least-squares fits used by the
+// experiment harnesses to report and verify scaling claims.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bzc {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample (linear interpolation between order statistics).
+/// q in [0, 1]; the input vector is copied and sorted.
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+/// Result of an ordinary least squares fit y ≈ slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Fits y against x; requires |x| == |y| and at least two points.
+[[nodiscard]] LinearFit fitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Multi-line ASCII rendering, useful in example binaries.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bzc

@@ -1,0 +1,66 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  BZC_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  BZC_REQUIRE(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " ") << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << " |";
+    }
+    os << '\n';
+  };
+  emitRow(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-") << std::string(width[c], '-') << "-|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emitRow(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::integer(long long v) { return std::to_string(v); }
+
+std::string Table::percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+void printBanner(std::ostream& os, const std::string& title, const std::string& body) {
+  os << "\n=== " << title << " ===\n";
+  if (!body.empty()) os << body << '\n';
+  os << '\n';
+}
+
+}  // namespace bzc

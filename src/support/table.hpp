@@ -1,0 +1,41 @@
+// Console table printer used by every bench binary so that experiment output
+// reads like the tables a paper would report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bzc {
+
+/// Column-aligned text table. Cells are strings; helpers format numerics.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must match the header arity.
+  void addRow(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Renders with a rule under the header, columns padded to content width.
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& os) const;
+
+  // Cell formatting helpers.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  [[nodiscard]] static std::string integer(long long v);
+  [[nodiscard]] static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "=== title ===" banner followed by descriptive text; benches use
+/// it to state the paper claim being reproduced next to the measured table.
+void printBanner(std::ostream& os, const std::string& title, const std::string& body);
+
+}  // namespace bzc

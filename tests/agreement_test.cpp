@@ -1,0 +1,162 @@
+// Tests for the §1.1 application: random-walk sampling, majority dynamics,
+// and the counting -> agreement pipeline.
+#include <gtest/gtest.h>
+
+#include "agreement/majority.hpp"
+#include "agreement/pipeline.hpp"
+#include "agreement/random_walk.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+namespace {
+
+TEST(RandomWalk, StaysOnGraphAndFlagsByzantine) {
+  const Graph g = ring(10);
+  const ByzantineSet byz(10, {5});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const WalkSample s = sampleViaWalk(g, byz, 0, 3, rng);
+    EXPECT_LT(s.endpoint, 10u);
+  }
+  // A walk starting at a Byzantine node is compromised immediately.
+  const WalkSample s = sampleViaWalk(g, byz, 5, 0, rng);
+  EXPECT_TRUE(s.compromised);
+}
+
+TEST(RandomWalk, LongWalksMixOnExpander) {
+  Rng gen(2);
+  const Graph g = hnd(256, 8, gen);
+  Rng rng(3);
+  const double tvShort = walkEndpointTvDistance(g, 0, 1, 4000, rng);
+  const double tvLong = walkEndpointTvDistance(g, 0, 12, 4000, rng);
+  EXPECT_LT(tvLong, tvShort);
+  EXPECT_LT(tvLong, 0.25);
+}
+
+TEST(RandomWalk, RingMixesSlowly) {
+  const Graph g = ring(256);
+  Rng rng(4);
+  // Even 12 steps on a ring leaves the walk close to its start.
+  const double tv = walkEndpointTvDistance(g, 0, 12, 4000, rng);
+  EXPECT_GT(tv, 0.5);
+}
+
+TEST(Majority, BenignConvergesWithGoodEstimate) {
+  Rng gen(5);
+  const NodeId n = 512;
+  const Graph g = hnd(n, 8, gen);
+  const ByzantineSet none(n, {});
+  AgreementParams params;
+  params.initialOnesFraction = 0.7;
+  Rng rng(6);
+  const double goodL = std::log(static_cast<double>(n));
+  const auto out = runMajorityAgreement(g, none, goodL, params, rng);
+  EXPECT_EQ(out.initialMajority, 1);
+  EXPECT_TRUE(out.almostEverywhere(0.02));
+}
+
+TEST(Majority, SurvivesSqrtNOverPolylogByzantine) {
+  // [3] tolerates O(sqrt(n)/polylog n) Byzantine nodes; at n = 1024 that
+  // budget is single-digit (sqrt(n)/ln n ~ 4.6). The adaptive adversary here
+  // corrupts every sample whose walk touches a Byzantine node.
+  Rng gen(7);
+  const NodeId n = 1024;
+  const Graph g = hnd(n, 8, gen);
+  PlacementSpec spec;
+  spec.kind = Placement::Random;
+  spec.count = 8;
+  Rng prng(8);
+  const auto byz = placeByzantine(g, spec, prng);
+  AgreementParams params;
+  params.initialOnesFraction = 0.75;
+  Rng rng(9);
+  const auto out = runMajorityAgreement(g, byz, std::log(static_cast<double>(n)), params, rng);
+  EXPECT_TRUE(out.almostEverywhere(0.1)) << "agree frac " << out.fracAgreeing;
+  EXPECT_GT(out.compromisedSamples, 0u);
+}
+
+TEST(Majority, TinyEstimateFailsUnderByzantinePressure) {
+  // With L = 1 the walks don't mix and there are too few iterations; the
+  // adversary keeps the network split. A correct L = ln n fixes both.
+  Rng gen(10);
+  const NodeId n = 1024;
+  const Graph g = hnd(n, 8, gen);
+  PlacementSpec spec;
+  spec.kind = Placement::Random;
+  spec.count = 6;
+  Rng prng(11);
+  const auto byz = placeByzantine(g, spec, prng);
+  AgreementParams params;
+  params.initialOnesFraction = 0.6;
+  Rng r1(12);
+  const auto bad = runMajorityAgreement(g, byz, 1.0, params, r1);
+  Rng r2(12);
+  const auto good = runMajorityAgreement(g, byz, std::log(static_cast<double>(n)), params, r2);
+  EXPECT_GT(good.fracAgreeing, bad.fracAgreeing + 0.05);
+  EXPECT_FALSE(bad.almostEverywhere(0.05));
+  EXPECT_TRUE(good.almostEverywhere(0.1)) << good.fracAgreeing;
+}
+
+TEST(Majority, PerNodeEstimatesSupported) {
+  Rng gen(13);
+  const NodeId n = 256;
+  const Graph g = hnd(n, 8, gen);
+  const ByzantineSet none(n, {});
+  std::vector<double> estimates(n, std::log(static_cast<double>(n)));
+  estimates[0] = 2.0 * estimates[0];  // one node over-estimates: harmless
+  AgreementParams params;
+  Rng rng(14);
+  const auto out = runMajorityAgreement(g, none, estimates, params, rng);
+  EXPECT_TRUE(out.almostEverywhere(0.02));
+}
+
+TEST(Majority, EstimateVectorSizeChecked) {
+  const Graph g = ring(8);
+  const ByzantineSet none(8, {});
+  AgreementParams params;
+  Rng rng(15);
+  EXPECT_THROW((void)runMajorityAgreement(g, none, std::vector<double>(3, 1.0), params, rng),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, CountingFeedsAgreement) {
+  Rng gen(16);
+  const NodeId n = 512;
+  const Graph g = hnd(n, 8, gen);
+  PlacementSpec spec;
+  spec.kind = Placement::Random;
+  spec.count = 6;  // sqrt(n)/polylog scale, see SurvivesSqrtNOverPolylog
+  Rng prng(17);
+  const auto byz = placeByzantine(g, spec, prng);
+  PipelineParams params;
+  params.agreement.initialOnesFraction = 0.7;
+  params.agreement.walkLengthFactor = 0.5;  // counting estimates overshoot ln n
+  params.estimateSafetyFactor = 1.5;
+  Rng rng(18);
+  const auto out =
+      runCountingThenAgreement(g, byz, BeaconAttackProfile::flooder(), params, rng);
+  // Counting produced workable estimates for most nodes...
+  std::size_t decided = 0;
+  for (NodeId u = 0; u < n; ++u) decided += out.counting.result.decisions[u].decided ? 1 : 0;
+  EXPECT_GT(decided, n * 3 / 4);
+  // ...and agreement on top reaches almost-everywhere agreement.
+  EXPECT_TRUE(out.agreement.almostEverywhere(0.1))
+      << "agree frac " << out.agreement.fracAgreeing;
+  EXPECT_GT(out.totalRounds, out.counting.result.totalRounds);
+}
+
+TEST(Pipeline, BenignEndToEnd) {
+  Rng gen(19);
+  const NodeId n = 256;
+  const Graph g = hnd(n, 8, gen);
+  const ByzantineSet none(n, {});
+  PipelineParams params;
+  Rng rng(20);
+  const auto out = runCountingThenAgreement(g, none, BeaconAttackProfile::none(), params, rng);
+  EXPECT_TRUE(out.agreement.almostEverywhere(0.01));
+  EXPECT_TRUE(out.counting.stats.quiesced);
+}
+
+}  // namespace
+}  // namespace bzc

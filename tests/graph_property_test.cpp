@@ -1,0 +1,186 @@
+// Deeper structural properties of the graph layer: generator invariants
+// under parameter sweeps, BFS identities, expansion monotonicity, and
+// edge-case/failure handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/bfs.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree_like.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+namespace {
+
+TEST(GraphIdentities, HandshakeLemma) {
+  Rng rng(1);
+  const Graph g = hnd(200, 6, rng);
+  std::size_t degreeSum = 0;
+  for (NodeId u = 0; u < g.numNodes(); ++u) degreeSum += g.degree(u);
+  EXPECT_EQ(degreeSum, 2 * g.numEdges());
+}
+
+TEST(GraphIdentities, AdjacencySymmetric) {
+  Rng rng(2);
+  const Graph g = configurationModel(128, 6, rng);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      EXPECT_TRUE(g.hasEdge(v, u)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(GraphIdentities, SimplifyIdempotent) {
+  Rng rng(3);
+  const Graph g = hnd(64, 8, rng);
+  const Graph s1 = g.simplified();
+  const Graph s2 = s1.simplified();
+  EXPECT_EQ(s1.numEdges(), s2.numEdges());
+  EXPECT_EQ(s1.multiEdgeCount(), 0u);
+}
+
+TEST(GraphIdentities, InducedSubgraphPreservesInternalDegrees) {
+  const Graph g = complete(8);
+  const auto [sub, map] = g.inducedSubgraph({0, 1, 2, 3});
+  EXPECT_EQ(sub.numNodes(), 4u);
+  EXPECT_EQ(sub.numEdges(), 6u);  // K4
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(sub.degree(u), 3u);
+}
+
+TEST(GraphIdentities, InducedSubgraphRejectsDuplicates) {
+  const Graph g = ring(6);
+  EXPECT_THROW((void)g.inducedSubgraph({0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)g.inducedSubgraph({7}), std::invalid_argument);
+}
+
+TEST(BfsIdentities, TriangleInequalityOnHnd) {
+  Rng rng(4);
+  const Graph g = hnd(128, 6, rng);
+  const auto d0 = bfsDistances(g, 0);
+  const auto d7 = bfsDistances(g, 7);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    EXPECT_LE(d0[u], d0[7] + d7[u]);
+    EXPECT_LE(d7[u], d7[0] + d0[u]);
+  }
+}
+
+TEST(BfsIdentities, BallMatchesDistances) {
+  Rng rng(5);
+  const Graph g = hnd(128, 6, rng);
+  const auto dist = bfsDistances(g, 9);
+  const auto b2 = ball(g, 9, 2);
+  std::size_t within2 = 0;
+  for (std::uint32_t d : dist) within2 += d <= 2 ? 1 : 0;
+  EXPECT_EQ(b2.size(), within2);
+  for (NodeId v : b2) EXPECT_LE(dist[v], 2u);
+}
+
+TEST(BfsIdentities, HypercubeDistanceIsHamming) {
+  const Graph g = hypercube(5);
+  const auto dist = bfsDistances(g, 0);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    EXPECT_EQ(dist[u], static_cast<std::uint32_t>(__builtin_popcount(u)));
+  }
+}
+
+TEST(BfsIdentities, TorusDiameter) {
+  const Graph g = torus2d(6, 8);
+  // Torus diameter = floor(rows/2) + floor(cols/2).
+  EXPECT_EQ(exactDiameter(g), 3u + 4u);
+}
+
+TEST(GeneratorSweeps, WattsStrogatzFullRewireStillValid) {
+  Rng rng(6);
+  const Graph g = wattsStrogatz(100, 3, 1.0, rng);
+  EXPECT_EQ(g.numEdges(), 300u);
+  EXPECT_EQ(g.multiEdgeCount(), 0u);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    EXPECT_FALSE(g.hasEdge(u, u));
+  }
+}
+
+TEST(GeneratorSweeps, GluedCopiesHubDegreeScales) {
+  for (NodeId copies : {2u, 5u, 9u}) {
+    const Graph g = gluedCopies(ring(10), 4, copies);
+    EXPECT_EQ(g.degree(0), 2 * copies);
+    EXPECT_EQ(g.numNodes(), 1 + copies * 9);
+    EXPECT_TRUE(isConnected(g));
+  }
+}
+
+TEST(GeneratorSweeps, GluedCopiesOfStarKeepsLeaves) {
+  // Glue at a leaf: hub has degree 1 per copy.
+  const Graph g = gluedCopies(star(5), 1, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.numNodes(), 1 + 3 * 4u);
+}
+
+TEST(ExpansionMonotonicity, DenserHndExpandsMore) {
+  // Higher degree => better expansion (both sweeps upper-bound h).
+  Rng g1(7);
+  const Graph sparse = hnd(256, 4, g1);
+  Rng g2(8);
+  const Graph dense = hnd(256, 12, g2);
+  Rng r1(9);
+  Rng r2(10);
+  EXPECT_LT(fiedlerSweep(sparse, 200, r1).expansion, fiedlerSweep(dense, 200, r2).expansion);
+}
+
+TEST(ExpansionMonotonicity, MoreBridgesHelpBarbell) {
+  Rng g1(11);
+  const Graph thin = barbell(128, 8, 1, g1);
+  Rng g2(11);
+  const Graph thick = barbell(128, 8, 32, g2);
+  Rng r1(12);
+  Rng r2(13);
+  EXPECT_LT(fiedlerSweep(thin, 250, r1).expansion, fiedlerSweep(thick, 250, r2).expansion);
+}
+
+TEST(ExpansionEdgeCases, CompleteGraphProfileIsSharp) {
+  const Graph g = complete(10);
+  const auto profile = ballExpansionProfile(g, 0, 2);
+  EXPECT_DOUBLE_EQ(profile[0], 9.0);
+  EXPECT_DOUBLE_EQ(profile[1], 0.0);  // ball(0,1) is everything
+}
+
+TEST(ExpansionEdgeCases, SweepOnDisconnectedGraphFindsZero) {
+  const Graph g(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  std::vector<NodeId> order = {0, 1, 2, 3, 4, 5};
+  const SweepCut cut = sweepCutByOrder(g, order);
+  EXPECT_DOUBLE_EQ(cut.expansion, 0.0);
+  EXPECT_EQ(cut.smallSide, 3u);
+}
+
+TEST(TreeLikeExtra, GluedGadgetHubNotTreeLike) {
+  // The hub of >= 2 glued rings sits on multiple cycles; with radius big
+  // enough to wrap a copy, it is not tree-like.
+  const Graph g = gluedCopies(ring(8), 0, 3);
+  EXPECT_FALSE(isLocallyTreeLike(g, 0, 4));
+  // Small radius: the hub's vicinity is still a tree.
+  EXPECT_TRUE(isLocallyTreeLike(g, 0, 2));
+}
+
+TEST(TreeLikeExtra, RadiusZeroAlwaysTreeLike) {
+  const Graph g = complete(6);
+  for (NodeId u = 0; u < g.numNodes(); ++u) EXPECT_TRUE(isLocallyTreeLike(g, u, 0));
+}
+
+// Parameterised: the expansion of H(n,8) is stable across seeds (a property
+// of the model, not of one lucky sample).
+class SeedStability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedStability, HndExpansionAcrossSeeds) {
+  Rng gen(GetParam());
+  const Graph g = hnd(256, 8, gen);
+  Rng sweep(GetParam() + 1000);
+  EXPECT_GT(fiedlerSweep(g, 150, sweep).expansion, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedStability, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace bzc

@@ -1,0 +1,260 @@
+// Property and failure-injection tests for Algorithm 1 beyond the basic
+// suite: view bookkeeping invariants, decision-reason exclusivity, attack
+// locality, and robustness on degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "counting/local/attacks.hpp"
+#include "counting/local/checks.hpp"
+#include "counting/local/protocol.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+namespace {
+
+// --- View bookkeeping invariants. ---
+
+struct ViewFixture {
+  ViewFixture(NodeId n, NodeId d, std::uint64_t seed) : rng(seed), g(hnd(n, d, rng)) {
+    Rng idRng = rng.fork(1);
+    ids = std::make_unique<IdSpace>(n, idRng);
+    pool = std::make_unique<RecordPool>(g, *ids);
+  }
+  Rng rng;
+  Graph g;
+  std::unique_ptr<IdSpace> ids;
+  std::unique_ptr<RecordPool> pool;
+};
+
+TEST(ViewInvariants, FullFloodMatchesBfs) {
+  // Integrating every honest record in BFS order reproduces layer counts
+  // equal to the BFS layer sizes, an empty boundary, and a view graph with
+  // exactly the original edges.
+  ViewFixture f(128, 6, 1);
+  LocalView view(f.pool.get(), 6);
+  view.installSelf(0);
+  const auto dist = bfsDistances(f.g, 0);
+  const std::uint32_t ecc = eccentricity(f.g, 0);
+  for (Round r = 1; r <= ecc; ++r) {
+    for (NodeId v = 0; v < f.g.numNodes(); ++v) {
+      if (dist[v] == r) {
+        ASSERT_EQ(view.integrate(v, r), IntegrationVerdict::Ok);
+      }
+    }
+  }
+  EXPECT_EQ(view.size(), f.g.numNodes());
+  EXPECT_EQ(view.boundarySize(), 0u);
+  const auto& layers = view.layerCounts();
+  for (Round r = 0; r <= ecc; ++r) {
+    std::size_t expect = 0;
+    for (NodeId v = 0; v < f.g.numNodes(); ++v) expect += dist[v] == r ? 1 : 0;
+    EXPECT_EQ(layers[r], expect) << "layer " << r;
+  }
+  const Graph vg = view.buildViewGraph();
+  EXPECT_EQ(vg.numNodes(), f.g.numNodes());
+  EXPECT_EQ(vg.numEdges(), f.g.numEdges());
+}
+
+TEST(ViewInvariants, RoundMarksSliceTheLog) {
+  ViewFixture f(64, 4, 2);
+  LocalView view(f.pool.get(), 4);
+  view.installSelf(0);
+  const auto dist = bfsDistances(f.g, 0);
+  // Integrate layers 1 and 3, skipping round 2 entirely.
+  for (NodeId v = 0; v < 64; ++v) {
+    if (dist[v] == 1) {
+      ASSERT_EQ(view.integrate(v, 1), IntegrationVerdict::Ok);
+    }
+  }
+  std::size_t layer1End = view.integrationLog().size();
+  for (NodeId v = 0; v < 64; ++v) {
+    if (dist[v] == 2) {
+      ASSERT_EQ(view.integrate(v, 3), IntegrationVerdict::Ok);
+    }
+  }
+  EXPECT_EQ(view.roundMark(1), 1u);
+  EXPECT_EQ(view.roundMark(2), layer1End);
+  EXPECT_EQ(view.roundMark(3), layer1End);
+  EXPECT_EQ(view.roundMark(99), view.integrationLog().size());
+}
+
+TEST(ViewInvariants, KnowsExactRecordOnly) {
+  ViewFixture f(32, 4, 3);
+  const RecordIdx alias = f.pool->addFake(f.ids->publicId(1), {0xABC});
+  LocalView view(f.pool.get(), 4);
+  view.installSelf(0);
+  ASSERT_EQ(view.integrate(1, 1), IntegrationVerdict::Ok);
+  EXPECT_TRUE(view.knows(1));
+  EXPECT_FALSE(view.knows(alias));  // same name, different record
+}
+
+// --- Decision accounting invariants. ---
+
+struct LocalRun {
+  Graph g;
+  ByzantineSet byz;
+  LocalOutcome out;
+};
+
+LocalRun runLocal(NodeId n, std::uint64_t seed, std::unique_ptr<LocalAdversary> adv,
+                  std::size_t byzCount, Placement placement = Placement::Random) {
+  Rng rng(seed);
+  Graph g = hnd(n, 8, rng);
+  PlacementSpec spec;
+  spec.kind = byzCount == 0 ? Placement::None : placement;
+  spec.count = byzCount;
+  spec.victim = 3;
+  spec.moatRadius = 1;
+  Rng prng = rng.fork(2);
+  auto byz = placeByzantine(g, spec, prng);
+  LocalParams params;
+  Rng runRng = rng.fork(3);
+  auto out = runLocalCounting(g, byz, *adv, params, runRng, 3);
+  return {std::move(g), std::move(byz), std::move(out)};
+}
+
+TEST(LocalInvariants, ReasonCountsSumToDecisions) {
+  auto run = runLocal(512, 4, makeConflictLocalAdversary(), 22);
+  std::size_t decided = 0;
+  for (NodeId u = 0; u < 512; ++u) {
+    if (!run.byz.contains(u) && run.out.result.decisions[u].decided) ++decided;
+  }
+  EXPECT_EQ(decided, run.out.stats.inconsistencyDecisions + run.out.stats.muteDecisions +
+                         run.out.stats.ballGrowthDecisions + run.out.stats.sparseCutDecisions);
+}
+
+TEST(LocalInvariants, EstimateEqualsDecisionRound) {
+  auto run = runLocal(256, 5, makeSilentLocalAdversary(), 12);
+  for (NodeId u = 0; u < 256; ++u) {
+    if (run.byz.contains(u)) continue;
+    const auto& rec = run.out.result.decisions[u];
+    ASSERT_TRUE(rec.decided);
+    EXPECT_DOUBLE_EQ(rec.estimate, static_cast<double>(rec.round));
+  }
+}
+
+TEST(LocalInvariants, ByzantineRowsUntouched) {
+  auto run = runLocal(256, 6, makeDegreeBombLocalAdversary(), 12);
+  for (NodeId b : run.byz.members()) {
+    EXPECT_FALSE(run.out.result.decisions[b].decided);
+    EXPECT_EQ(run.out.result.meter.bitsSent(b), 0u);
+    EXPECT_EQ(run.out.stats.reason[b], LocalDecideReason::Undecided);
+  }
+}
+
+TEST(LocalInvariants, MessagesArePolynomialNotSmall) {
+  // The LOCAL algorithm's whole point: messages carry whole neighbourhood
+  // views. Late-round messages must exceed any O(log n)-bit budget by far —
+  // the cost Theorem 2's algorithm exists to avoid.
+  auto run = runLocal(512, 7, makeHonestLocalAdversary(), 0);
+  const ByzantineSet none(512, {});
+  const auto honest = none.honestNodes();
+  const double logN = std::log(512.0);
+  const std::size_t smallBudget = static_cast<std::size_t>((logN + 9) * 64);
+  EXPECT_LT(run.out.result.meter.fractionWithin(honest, smallBudget), 0.05);
+}
+
+TEST(LocalInvariants, MuteWaveTravelsAtOneHopPerRound) {
+  // Under the silent adversary, decisions propagate as a wave: estimate(u)
+  // in [dist(u), dist(u)+1] was checked elsewhere; here: neighbours differ
+  // by at most 1 round.
+  auto run = runLocal(512, 8, makeSilentLocalAdversary(), 20);
+  for (NodeId u = 0; u < 512; ++u) {
+    if (run.byz.contains(u)) continue;
+    for (NodeId v : run.g.neighbors(u)) {
+      if (run.byz.contains(v)) continue;
+      EXPECT_LE(std::abs(run.out.result.decisions[u].estimate -
+                         run.out.result.decisions[v].estimate),
+                1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(LocalAttacksExtra, FakeWorldWithoutMoatIsCaught) {
+  // With random placement there is no sealed moat: honest records flood
+  // everywhere, contradict the fabricated self-records, and every node
+  // decides at distance-to-Byzantine scale. Nobody is strung along.
+  auto run = runLocal(512, 9, makeFakeWorldLocalAdversary({}), 20, Placement::Random);
+  const std::uint32_t diam = exactDiameter(run.g);
+  for (NodeId u = 0; u < 512; ++u) {
+    if (run.byz.contains(u)) continue;
+    ASSERT_TRUE(run.out.result.decisions[u].decided);
+    EXPECT_LE(run.out.result.decisions[u].estimate, diam + 1.0);
+  }
+  EXPECT_GT(run.out.stats.inconsistencyDecisions, 0u);
+}
+
+TEST(LocalAttacksExtra, AdversaryNamesStable) {
+  EXPECT_STREQ(makeHonestLocalAdversary()->name(), "honest");
+  EXPECT_STREQ(makeSilentLocalAdversary()->name(), "silent");
+  EXPECT_STREQ(makeConflictLocalAdversary()->name(), "conflict");
+  EXPECT_STREQ(makeDegreeBombLocalAdversary()->name(), "degree-bomb");
+  EXPECT_STREQ(makeFakeWorldLocalAdversary({})->name(), "fake-world");
+}
+
+TEST(LocalRobustness, RoundCapReportsUndecided) {
+  Rng rng(10);
+  Graph g = hnd(256, 8, rng);
+  const ByzantineSet none(256, {});
+  auto adv = makeHonestLocalAdversary();
+  LocalParams params;
+  params.maxRounds = 2;  // decisions need ~5 rounds: everyone capped
+  Rng runRng = rng.fork(3);
+  const auto out = runLocalCounting(g, none, *adv, params, runRng);
+  EXPECT_TRUE(out.result.hitRoundCap);
+  EXPECT_GT(out.stats.undecidedAtCap, 200u);
+}
+
+TEST(LocalRobustness, RunsOnNonRegularTopologies) {
+  // Bounded-degree but irregular graphs are within Theorem 1's model.
+  std::vector<Graph> graphs;
+  Rng wsRng(11);
+  graphs.push_back(wattsStrogatz(128, 3, 0.1, wsRng));
+  graphs.push_back(torus2d(10, 10));
+  for (const auto& g : graphs) {
+    const ByzantineSet none(g.numNodes(), {});
+    auto adv = makeHonestLocalAdversary();
+    LocalParams params;
+    Rng rng(12);
+    const auto out = runLocalCounting(g, none, *adv, params, rng);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+      EXPECT_TRUE(out.result.decisions[u].decided) << "node " << u;
+    }
+  }
+}
+
+TEST(LocalRobustness, MismatchedByzantineSetRejected) {
+  const Graph g = ring(8);
+  const ByzantineSet wrong(9, {});
+  auto adv = makeHonestLocalAdversary();
+  LocalParams params;
+  Rng rng(13);
+  EXPECT_THROW((void)runLocalCounting(g, wrong, *adv, params, rng), std::invalid_argument);
+}
+
+// Property sweep: the gamma budget. As gamma shrinks (more Byzantine nodes)
+// the silent-attack estimates shrink toward 1, but all stay within
+// [dist, diam+1].
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, WindowHoldsAcrossBudgets) {
+  const double gamma = GetParam();
+  const NodeId n = 512;
+  auto run = runLocal(n, 200, makeSilentLocalAdversary(), byzantineBudget(n, gamma));
+  const std::uint32_t diam = exactDiameter(run.g);
+  for (NodeId u = 0; u < n; ++u) {
+    if (run.byz.contains(u)) continue;
+    const auto& rec = run.out.result.decisions[u];
+    ASSERT_TRUE(rec.decided);
+    EXPECT_GE(rec.estimate, run.out.stats.distToByz[u]);
+    EXPECT_LE(rec.estimate, diam + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GammaSweep, ::testing::Values(0.35, 0.45, 0.55, 0.7));
+
+}  // namespace
+}  // namespace bzc

@@ -1,0 +1,217 @@
+// Tests for the simulation substrate: ID space, Byzantine sets, placements,
+// metrics, and the quality-evaluation helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "counting/common.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "sim/byzantine.hpp"
+#include "sim/ids.hpp"
+#include "sim/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+namespace {
+
+TEST(IdSpace, DistinctIdsAndLookup) {
+  Rng rng(1);
+  const IdSpace ids(500, rng);
+  std::set<PublicId> seen;
+  for (NodeId u = 0; u < 500; ++u) {
+    const PublicId p = ids.publicId(u);
+    EXPECT_TRUE(seen.insert(p).second);
+    EXPECT_EQ(ids.lookup(p), u);
+  }
+  EXPECT_EQ(ids.lookup(0xdeadbeefcafef00dULL), kNoNode);
+  EXPECT_EQ(IdSpace::bitsPerId(), 64u);
+}
+
+TEST(IdSpace, DeterministicPerSeed) {
+  Rng a(9);
+  Rng b(9);
+  const IdSpace x(64, a);
+  const IdSpace y(64, b);
+  for (NodeId u = 0; u < 64; ++u) EXPECT_EQ(x.publicId(u), y.publicId(u));
+}
+
+TEST(ByzantineSet, MembershipAndHonest) {
+  const ByzantineSet byz(10, {2, 5, 7});
+  EXPECT_TRUE(byz.contains(2));
+  EXPECT_FALSE(byz.contains(3));
+  EXPECT_EQ(byz.count(), 3u);
+  const auto honest = byz.honestNodes();
+  EXPECT_EQ(honest.size(), 7u);
+  for (NodeId u : honest) EXPECT_FALSE(byz.contains(u));
+}
+
+TEST(ByzantineSet, DuplicateRejected) {
+  EXPECT_THROW(ByzantineSet(5, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(ByzantineSet(5, {5}), std::invalid_argument);
+}
+
+TEST(ByzantineSet, DistanceField) {
+  const Graph g = path(7);
+  const ByzantineSet byz(7, {0});
+  const auto dist = byz.distanceToByzantine(g);
+  for (NodeId u = 0; u < 7; ++u) EXPECT_EQ(dist[u], u);
+  const ByzantineSet none(7, {});
+  const auto inf = none.distanceToByzantine(g);
+  for (NodeId u = 0; u < 7; ++u) EXPECT_EQ(inf[u], kUnreachable);
+}
+
+TEST(Budget, PaperFormula) {
+  EXPECT_EQ(byzantineBudget(1024, 0.5), 32u);
+  EXPECT_EQ(byzantineBudget(1 << 16, 0.75), 16u);
+  EXPECT_THROW((void)byzantineBudget(100, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)byzantineBudget(100, 1.0), std::invalid_argument);
+}
+
+TEST(Placement, RandomAvoidsVictimAndIsExact) {
+  Rng gen(3);
+  const Graph g = hnd(100, 4, gen);
+  PlacementSpec spec;
+  spec.kind = Placement::Random;
+  spec.count = 30;
+  spec.victim = 42;
+  Rng rng(4);
+  const auto byz = placeByzantine(g, spec, rng);
+  EXPECT_EQ(byz.count(), 30u);
+  EXPECT_FALSE(byz.contains(42));
+}
+
+TEST(Placement, NonePlacesNothing) {
+  Rng gen(5);
+  const Graph g = hnd(50, 4, gen);
+  PlacementSpec spec;
+  spec.kind = Placement::None;
+  Rng rng(6);
+  EXPECT_EQ(placeByzantine(g, spec, rng).count(), 0u);
+}
+
+TEST(Placement, BallPacksNearestToVictim) {
+  const Graph g = path(20);
+  PlacementSpec spec;
+  spec.kind = Placement::Ball;
+  spec.count = 4;
+  spec.victim = 10;
+  Rng rng(7);
+  const auto byz = placeByzantine(g, spec, rng);
+  EXPECT_EQ(byz.count(), 4u);
+  // On a path the 4 nearest nodes to 10 are {8, 9, 11, 12}.
+  for (NodeId u : {9u, 11u, 8u, 12u}) EXPECT_TRUE(byz.contains(u));
+  EXPECT_FALSE(byz.contains(10));
+}
+
+TEST(Placement, SurroundOccupiesMoatLayer) {
+  Rng gen(8);
+  const Graph g = hnd(256, 6, gen);
+  PlacementSpec spec;
+  spec.kind = Placement::Surround;
+  spec.victim = 17;
+  spec.moatRadius = 1;
+  const auto layerDist = bfsDistances(g, 17);
+  std::size_t layer2 = 0;
+  for (NodeId u = 0; u < g.numNodes(); ++u) layer2 += layerDist[u] == 2 ? 1 : 0;
+  spec.count = layer2;  // enough budget to seal the moat
+  Rng rng(9);
+  const auto byz = placeByzantine(g, spec, rng);
+  // Every distance-2 node is Byzantine: all paths out of B(victim,1) are cut.
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (layerDist[u] == 2) {
+      EXPECT_TRUE(byz.contains(u)) << u;
+    }
+    if (layerDist[u] <= 1) {
+      EXPECT_FALSE(byz.contains(u)) << u;
+    }
+  }
+}
+
+TEST(Placement, SpreadCoversGraph) {
+  Rng gen(10);
+  const Graph g = hnd(200, 6, gen);
+  PlacementSpec spec;
+  spec.kind = Placement::Spread;
+  spec.count = 20;
+  Rng rng(11);
+  const auto byz = placeByzantine(g, spec, rng);
+  EXPECT_EQ(byz.count(), 20u);
+  // Spread placement should leave no node very far from a Byzantine node.
+  const auto dist = byz.distanceToByzantine(g);
+  for (NodeId u = 0; u < g.numNodes(); ++u) EXPECT_LE(dist[u], 4u);
+}
+
+TEST(Placement, CountCappedAtNMinusOne) {
+  const Graph g = ring(5);
+  PlacementSpec spec;
+  spec.kind = Placement::Random;
+  spec.count = 50;
+  Rng rng(12);
+  EXPECT_EQ(placeByzantine(g, spec, rng).count(), 4u);
+}
+
+TEST(MessageMeter, RecordsAndAggregates) {
+  MessageMeter meter(3);
+  meter.record(0, 100);
+  meter.record(0, 50);
+  meter.recordBroadcast(1, 20, 4);
+  EXPECT_EQ(meter.maxMessageBits(0), 100u);
+  EXPECT_EQ(meter.bitsSent(0), 150u);
+  EXPECT_EQ(meter.messagesSent(0), 2u);
+  EXPECT_EQ(meter.maxMessageBits(1), 20u);
+  EXPECT_EQ(meter.bitsSent(1), 80u);
+  EXPECT_EQ(meter.messagesSent(1), 4u);
+  EXPECT_EQ(meter.totalMessages(), 6u);
+  EXPECT_EQ(meter.totalBits(), 230u);
+  EXPECT_EQ(meter.maxMessageBits(2), 0u);
+}
+
+TEST(MessageMeter, FractionWithinAndQuantile) {
+  MessageMeter meter(4);
+  meter.record(0, 10);
+  meter.record(1, 100);
+  meter.record(2, 1000);
+  const std::vector<NodeId> nodes = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(meter.fractionWithin(nodes, 100), 0.75);
+  EXPECT_DOUBLE_EQ(meter.fractionWithin(nodes, 5), 0.25);  // node 3 sent nothing
+  EXPECT_DOUBLE_EQ(meter.maxBitsQuantile(nodes, 1.0), 1000.0);
+}
+
+TEST(Quality, EvaluatesWindow) {
+  const NodeId n = 100;
+  ByzantineSet byz(n, {0, 1});
+  CountingResult result;
+  result.decisions.assign(n, {});
+  const double logN = logSize(n);  // ~4.6
+  for (NodeId u = 2; u < n; ++u) {
+    result.decisions[u].decided = true;
+    result.decisions[u].round = 10;
+    result.decisions[u].estimate = (u < 50) ? logN : 10.0 * logN;  // half inside
+  }
+  QualityWindow window{0.5, 2.0};
+  const auto q = evaluateQuality(result, byz, n, window);
+  EXPECT_EQ(q.honestCount, 98u);
+  EXPECT_EQ(q.decidedCount, 98u);
+  EXPECT_EQ(q.withinWindowCount, 48u);  // nodes 2..49
+  EXPECT_NEAR(q.fracWithinWindow, 48.0 / 98.0, 1e-12);
+  EXPECT_EQ(q.maxDecisionRound, 10u);
+  EXPECT_NEAR(q.minRatio, 1.0, 1e-12);
+  EXPECT_NEAR(q.maxRatio, 10.0, 1e-12);
+}
+
+TEST(Quality, UndecidedCounted) {
+  const NodeId n = 10;
+  ByzantineSet byz(n, {});
+  CountingResult result;
+  result.decisions.assign(n, {});
+  result.decisions[3].decided = true;
+  result.decisions[3].estimate = logSize(n);
+  const auto q = evaluateQuality(result, byz, n, {0.5, 2.0});
+  EXPECT_EQ(q.decidedCount, 1u);
+  EXPECT_NEAR(q.fracDecided, 0.1, 1e-12);
+  EXPECT_EQ(q.withinWindowCount, 1u);
+}
+
+}  // namespace
+}  // namespace bzc

@@ -1,0 +1,270 @@
+// Unit tests for the support layer: deterministic RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace bzc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng childBefore = parent.fork(3);
+  const std::uint64_t firstDraw = childBefore.next();
+  // Forking with the same tag from the same parent state reproduces.
+  Rng parent2(7);
+  Rng childAgain = parent2.fork(3);
+  EXPECT_EQ(childAgain.next(), firstDraw);
+}
+
+TEST(Rng, ForkDifferentTagsDecorrelated) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 8, draws / 8 * 0.1);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(draws), 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanIsTwo) {
+  Rng rng(29);
+  double sum = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) sum += rng.geometricFlips();
+  EXPECT_NEAR(sum / draws, 2.0, 0.05);
+}
+
+TEST(Rng, GeometricMinimumIsOne) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.geometricFlips(), 1u);
+}
+
+TEST(Rng, ExponentialMeanIsOne) {
+  Rng rng(37);
+  double sum = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) sum += rng.exponential();
+  EXPECT_NEAR(sum / draws, 1.0, 0.03);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(41);
+  const auto perm = rng.permutation(100);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  const auto sample = rng.sampleWithoutReplacement(50, 20);
+  std::set<std::uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (auto v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(47);
+  const auto sample = rng.sampleWithoutReplacement(10, 10);
+  std::set<std::uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SampleTooLargeThrows) {
+  Rng rng(53);
+  EXPECT_THROW((void)rng.sampleWithoutReplacement(5, 6), std::invalid_argument);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  RunningStat stat;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0;
+  for (double x : xs) {
+    stat.add(x);
+    sum += x;
+  }
+  EXPECT_EQ(stat.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stat.mean(), sum / xs.size());
+  EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 16.0);
+  // Sample variance by hand.
+  double ss = 0;
+  for (double x : xs) ss += (x - stat.mean()) * (x - stat.mean());
+  EXPECT_NEAR(stat.variance(), ss / (xs.size() - 1), 1e-9);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(Quantile, OrderStatistics) {
+  std::vector<double> xs = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(FitLinear, ExactLine) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * v - 2.0);
+  const LinearFit fit = fitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(FitLinear, NoisyLineHighR2) {
+  Rng rng(59);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 5.0 + (rng.uniformDouble() - 0.5));
+  }
+  const LinearFit fit = fitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(FitLinear, MismatchedSizesThrow) {
+  EXPECT_THROW((void)fitLinear({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)fitLinear({1}, {1}), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(2), 1u);
+  EXPECT_EQ(h.bin(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Histogram, InvalidRangeThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", Table::num(1.5, 1)});
+  t.addRow({"a-very-long-name", Table::integer(42)});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("1.5"), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(rendered.find("|--"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormattersProduceExpectedText) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(-7), "-7");
+  EXPECT_EQ(Table::percent(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace bzc
