@@ -6,17 +6,50 @@
 #pragma once
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "counting/common.hpp"
 #include "graph/generators.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/fingerprint.hpp"
 #include "sim/byzantine.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 namespace bzc::bench {
+
+/// Trials per table row. BZC_TRIALS overrides (CI smoke runs set it to 2).
+inline std::uint32_t trialCount(std::uint32_t defaultTrials = 5) {
+  if (const char* env = std::getenv("BZC_TRIALS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<std::uint32_t>(v);
+  }
+  return defaultTrials;
+}
+
+/// Worker threads for the ExperimentRunner. BZC_THREADS overrides.
+inline unsigned threadCount() {
+  if (const char* env = std::getenv("BZC_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;  // hardware concurrency
+}
+
+/// "mean [min,max]" cell for a per-trial distribution.
+inline std::string distCell(const Distribution& d, int precision = 2) {
+  return Table::num(d.mean, precision) + " [" + Table::num(d.min, precision) + "," +
+         Table::num(d.max, precision) + "]";
+}
+
+/// Same, for fractions rendered as percentages.
+inline std::string distPercentCell(const Distribution& d, int precision = 0) {
+  return Table::percent(d.mean, precision) + " [" + Table::percent(d.min, precision) + "," +
+         Table::percent(d.max, precision) + "]";
+}
 
 /// Deterministic workload graph for experiment `tag`, size n, degree d.
 inline Graph makeHnd(NodeId n, NodeId d, std::uint64_t tag) {

@@ -5,8 +5,13 @@
 // decide a (gamma/2 * log Delta)-factor approximation of log n within
 // O(log n) rounds. The estimate of every Good node (far from Byzantine
 // nodes) lies in [dist-to-Byz, diam(G)+1].
+//
+// Each row now aggregates R independent trials (graph, placement and
+// adversary streams all forked per trial) on the ExperimentRunner; cells show
+// mean [min,max] over trials. BZC_TRIALS / BZC_THREADS override the defaults.
 #include <cmath>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "counting/local/protocol.hpp"
@@ -25,6 +30,20 @@ struct Scenario {
 
 std::unique_ptr<LocalAdversary> makeFakeWorldDefault() { return makeFakeWorldLocalAdversary({}); }
 
+// Extra-metric slots of one trial.
+enum : std::size_t {
+  kFracGood,   // fraction of Good (dist>=2) nodes inside [dist-to-Byz, diam+1]
+  kDiameter,
+  kRoundsOk,   // 1.0 when totalRounds <= 4*diam + 16
+  kMeanEst,
+  kMaxEst,
+  kIncDecisions,
+  kMuteDecisions,
+  kBallDecisions,
+  kCutDecisions,
+  kExtraSlots,
+};
+
 }  // namespace
 
 int main() {
@@ -33,7 +52,11 @@ int main() {
       "Rows reproduce the Theorem 1 guarantee on H(n,8) with B = n^(1-gamma), gamma = 0.55,\n"
       "adversarial placements and the attack strategies the proofs discuss. 'good in\n"
       "[dist,diam+1]' is the fraction of honest nodes >= 2 hops from every Byzantine node\n"
-      "whose decision lands in the Theorem 1 window.");
+      "whose decision lands in the Theorem 1 window. Cells aggregate R trials.");
+
+  const std::uint32_t trials = trialCount(5);
+  ExperimentRunner runner(threadCount());
+  std::cout << "trials/row=" << trials << "  threads=" << runner.threadCount() << "\n\n";
 
   Table table({"n", "attack", "placement", "B", "diam", "rounds", "frac decided", "est mean",
                "est max", "good in [dist,diam+1]", "reasons (inc/mute/ball/cut)"});
@@ -49,46 +72,76 @@ int main() {
   bool allRoundsLogarithmic = true;
   bool allGoodInWindow = true;
   for (NodeId n : {256u, 512u, 1024u}) {
-    const Graph g = makeHnd(n, 8, 1);
-    const std::uint32_t diam = exactDiameter(g);
     const std::size_t budget = byzantineBudget(n, 0.55);
     for (const auto& sc : scenarios) {
-      const NodeId victim = 3;
-      const auto byz = placeFor(g, sc.placement, budget, n, victim, 1);
-      auto adversary = sc.make();
-      LocalParams params;
-      Rng runRng(10 * n + 7);
-      const auto out = runLocalCounting(g, byz, *adversary, params, runRng, victim);
-      const auto summary = summarize(out.result, byz, n);
+      ScenarioSpec spec;
+      spec.name = std::string("t1-") + sc.attack;
+      spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+      spec.placement.kind = sc.placement;
+      spec.placement.count = budget;
+      spec.placement.victim = 3;
+      spec.placement.moatRadius = 1;
+      spec.trials = trials;
+      spec.masterSeed = 10 * n + 7;
 
-      std::size_t good = 0;
-      std::size_t goodInWindow = 0;
-      for (NodeId u = 0; u < n; ++u) {
-        if (byz.contains(u) || out.stats.distToByz[u] < 2) continue;
-        ++good;
-        const auto& rec = out.result.decisions[u];
-        if (rec.decided && rec.estimate >= out.stats.distToByz[u] &&
-            rec.estimate <= diam + 1.0) {
-          ++goodInWindow;
+      const auto summary = runner.runCustom(spec.name, trials, [&](std::uint32_t index) {
+        MaterializedTrial trial = materializeTrial(spec, index);
+        const std::uint32_t diam = exactDiameter(trial.graph);
+        auto adversary = sc.make();
+        const LocalParams params;
+        const LocalOutcome out = runLocalCounting(trial.graph, trial.byz, *adversary, params,
+                                                  trial.runRng, spec.placement.victim);
+        const auto est = summarize(out.result, trial.byz, n);
+
+        std::size_t good = 0;
+        std::size_t goodInWindow = 0;
+        for (NodeId u = 0; u < n; ++u) {
+          if (trial.byz.contains(u) || out.stats.distToByz[u] < 2) continue;
+          ++good;
+          const auto& rec = out.result.decisions[u];
+          if (rec.decided && rec.estimate >= out.stats.distToByz[u] &&
+              rec.estimate <= diam + 1.0) {
+            ++goodInWindow;
+          }
         }
-      }
-      const double fracGood = good > 0 ? static_cast<double>(goodInWindow) / good : 1.0;
-      allGoodInWindow = allGoodInWindow && fracGood > 0.99;
-      allRoundsLogarithmic =
-          allRoundsLogarithmic && out.result.totalRounds <= 4 * diam + 16;
 
-      std::string reasons = std::to_string(out.stats.inconsistencyDecisions) + "/" +
-                            std::to_string(out.stats.muteDecisions) + "/" +
-                            std::to_string(out.stats.ballGrowthDecisions) + "/" +
-                            std::to_string(out.stats.sparseCutDecisions);
+        TrialOutcome t;
+        t.quality.fracDecided = est.fracDecided;
+        t.totalRounds = out.result.totalRounds;
+        t.hitRoundCap = out.result.hitRoundCap;
+        t.totalMessages = out.result.meter.totalMessages();
+        t.totalBits = out.result.meter.totalBits();
+        t.resultFingerprint = fingerprint(out.result, n);
+        t.extra.assign(kExtraSlots, 0.0);
+        t.extra[kFracGood] = good > 0 ? static_cast<double>(goodInWindow) / good : 1.0;
+        t.extra[kDiameter] = diam;
+        t.extra[kRoundsOk] = out.result.totalRounds <= 4 * diam + 16 ? 1.0 : 0.0;
+        t.extra[kMeanEst] = est.meanEst;
+        t.extra[kMaxEst] = est.maxEst;
+        t.extra[kIncDecisions] = static_cast<double>(out.stats.inconsistencyDecisions);
+        t.extra[kMuteDecisions] = static_cast<double>(out.stats.muteDecisions);
+        t.extra[kBallDecisions] = static_cast<double>(out.stats.ballGrowthDecisions);
+        t.extra[kCutDecisions] = static_cast<double>(out.stats.sparseCutDecisions);
+        return t;
+      });
+
+      allGoodInWindow = allGoodInWindow && summary.extras[kFracGood].mean > 0.99;
+      allRoundsLogarithmic = allRoundsLogarithmic && summary.extras[kRoundsOk].min >= 1.0;
+
+      const std::string reasons = Table::num(summary.extras[kIncDecisions].mean, 0) + "/" +
+                                  Table::num(summary.extras[kMuteDecisions].mean, 0) + "/" +
+                                  Table::num(summary.extras[kBallDecisions].mean, 0) + "/" +
+                                  Table::num(summary.extras[kCutDecisions].mean, 0);
       table.addRow({Table::integer(n), sc.attack,
                     sc.placement == Placement::Random   ? "random"
                     : sc.placement == Placement::Spread ? "spread"
                                                         : "surround",
-                    Table::integer(static_cast<long long>(byz.count())), Table::integer(diam),
-                    Table::integer(out.result.totalRounds), Table::percent(summary.fracDecided),
-                    Table::num(summary.meanEst, 2), Table::num(summary.maxEst, 0),
-                    Table::percent(fracGood), reasons});
+                    Table::integer(static_cast<long long>(budget)),
+                    Table::num(summary.extras[kDiameter].mean, 1),
+                    distCell(summary.totalRounds, 0), distPercentCell(summary.fracDecided),
+                    Table::num(summary.extras[kMeanEst].mean, 2),
+                    Table::num(summary.extras[kMaxEst].mean, 0),
+                    distPercentCell(summary.extras[kFracGood]), reasons});
     }
   }
   table.print(std::cout);

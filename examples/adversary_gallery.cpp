@@ -1,63 +1,68 @@
 // adversary_gallery: a resilience matrix — every adversary strategy in the
 // library against both counting algorithms, on one page.
 //
-//   ./adversary_gallery [n] [seed]
+//   ./adversary_gallery [n] [trials] [seed]
 //
 // Shows at a glance what each attack does to decision coverage and estimate
 // quality, and that neither algorithm is ever pushed outside its theorem's
-// guarantee by any implemented strategy.
+// guarantee by any implemented strategy. Every cell aggregates `trials`
+// independent trials (fresh graph, placement and protocol streams per trial)
+// fanned out over the ExperimentRunner's thread pool — the declarative
+// ScenarioSpec path for Algorithm 2, the custom-trial path (with per-trial
+// extra metrics) for Algorithm 1.
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "counting/beacon/protocol.hpp"
 #include "counting/local/protocol.hpp"
-#include "graph/bfs.hpp"
-#include "graph/generators.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/fingerprint.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bzc;
   const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 512;
-  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 3;
+  const std::uint32_t trials = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 5;
+  const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 3;
 
-  Rng rng(seed);
-  const Graph g = hnd(n, 8, rng);
   const std::size_t budget = byzantineBudget(n, 0.55);
   const double logN = std::log(static_cast<double>(n));
-  Rng placeRng = rng.fork(1);
-  const auto byz = placeByzantine(g, {.kind = Placement::Random, .count = budget}, placeRng);
-  const ByzantineSet none(n, {});
+  ExperimentRunner runner;
 
   std::cout << "H(" << n << ",8), B = " << budget << " (gamma = 0.55), ln n = "
-            << Table::num(logN, 2) << ", diameter " << exactDiameter(g) << "\n";
+            << Table::num(logN, 2) << ", " << trials << " trials/cell on "
+            << runner.threadCount() << " threads\n";
+
+  auto baseSpec = [&](const std::string& name, bool withByzantine) {
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = withByzantine ? Placement::Random : Placement::None;
+    spec.placement.count = withByzantine ? budget : 0;
+    spec.trials = trials;
+    spec.masterSeed = seed;
+    return spec;
+  };
 
   std::cout << "\n--- Algorithm 2 (randomized, small messages) ---\n";
-  Table beaconTable({"adversary", "frac decided", "mean est", "est/ln n", "quiesced", "rounds"});
+  Table beaconTable({"adversary", "frac decided", "mean est/ln n", "rounds", "capped trials"});
   for (const auto& attack :
        {BeaconAttackProfile::none(), BeaconAttackProfile::flooder(),
         BeaconAttackProfile::tamperer(), BeaconAttackProfile::suppressor(),
         BeaconAttackProfile::continueSpammer(), BeaconAttackProfile::full()}) {
-    const auto& set = attack.name == "none" ? none : byz;
-    BeaconLimits limits;
-    limits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
-    Rng runRng = rng.fork(10 + std::hash<std::string>{}(attack.name));
-    const auto out = runBeaconCounting(g, set, attack, {}, limits, runRng);
-    std::size_t decided = 0;
-    std::size_t honest = 0;
-    double mean = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (set.contains(u)) continue;
-      ++honest;
-      if (!out.result.decisions[u].decided) continue;
-      ++decided;
-      mean += out.result.decisions[u].estimate;
-    }
-    mean = decided ? mean / decided : 0.0;
-    beaconTable.addRow({attack.name,
-                        Table::percent(static_cast<double>(decided) / honest),
-                        Table::num(mean, 2), Table::num(mean / logN, 2),
-                        out.stats.quiesced ? "yes" : "no",
-                        Table::integer(out.result.totalRounds)});
+    ScenarioSpec spec = baseSpec("gallery-beacon-" + attack.name, attack.name != "none");
+    spec.protocol = ProtocolKind::Beacon;
+    spec.beaconAttack = attack;
+    spec.beaconLimits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
+    const ExperimentSummary s = runner.run(spec);
+    beaconTable.addRow({attack.name, Table::percent(s.fracDecided.mean),
+                        Table::num(s.meanRatio.mean, 2),
+                        Table::num(s.totalRounds.mean, 0) + " [" +
+                            Table::num(s.totalRounds.min, 0) + "," +
+                            Table::num(s.totalRounds.max, 0) + "]",
+                        Table::integer(static_cast<long long>(s.cappedTrials))});
   }
   beaconTable.print(std::cout);
 
@@ -66,46 +71,61 @@ int main(int argc, char** argv) {
                     "rounds"});
   struct Entry {
     const char* name;
-    std::unique_ptr<LocalAdversary> adversary;
-    const ByzantineSet* set;
+    std::unique_ptr<LocalAdversary> (*make)();
+    bool withByzantine;
   };
-  std::vector<Entry> entries;
-  entries.push_back({"none", makeHonestLocalAdversary(), &none});
-  entries.push_back({"silent", makeSilentLocalAdversary(), &byz});
-  entries.push_back({"conflict", makeConflictLocalAdversary(), &byz});
-  entries.push_back({"degree-bomb", makeDegreeBombLocalAdversary(), &byz});
-  entries.push_back({"fake-world", makeFakeWorldLocalAdversary({}), &byz});
-  for (auto& e : entries) {
-    LocalParams params;
-    Rng runRng = rng.fork(20 + std::hash<std::string>{}(e.name));
-    const auto out = runLocalCounting(g, *e.set, *e.adversary, params, runRng);
-    std::size_t decided = 0;
-    std::size_t honest = 0;
-    double mean = 0;
-    double maxEst = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (e.set->contains(u)) continue;
-      ++honest;
-      if (!out.result.decisions[u].decided) continue;
-      ++decided;
-      mean += out.result.decisions[u].estimate;
-      maxEst = std::max(maxEst, out.result.decisions[u].estimate);
-    }
-    mean = decided ? mean / decided : 0.0;
+  const Entry entries[] = {
+      {"none", &makeHonestLocalAdversary, false},
+      {"silent", [] { return makeSilentLocalAdversary(1); }, true},
+      {"conflict", &makeConflictLocalAdversary, true},
+      {"degree-bomb", &makeDegreeBombLocalAdversary, true},
+      {"fake-world", [] { return makeFakeWorldLocalAdversary({}); }, true},
+  };
+  // Extra slots: mean est, max est, decisions by reason (inc/mute/ball/cut).
+  enum : std::size_t { kMean, kMax, kInc, kMute, kBall, kCut, kSlots };
+  for (const Entry& e : entries) {
+    const ScenarioSpec spec = baseSpec(std::string("gallery-local-") + e.name, e.withByzantine);
+    const ExperimentSummary s = runner.runCustom(spec.name, trials, [&](std::uint32_t index) {
+      MaterializedTrial trial = materializeTrial(spec, index);
+      auto adversary = e.make();
+      const LocalOutcome out =
+          runLocalCounting(trial.graph, trial.byz, *adversary, {}, trial.runRng);
+      TrialOutcome t;
+      t.quality = evaluateQuality(out.result, trial.byz, n, spec.window);
+      t.totalRounds = out.result.totalRounds;
+      t.hitRoundCap = out.result.hitRoundCap;
+      t.resultFingerprint = fingerprint(out.result, n);
+      t.extra.assign(kSlots, 0.0);
+      double mean = 0;
+      std::size_t decided = 0;
+      for (NodeId u = 0; u < n; ++u) {
+        const auto& rec = out.result.decisions[u];
+        if (trial.byz.contains(u) || !rec.decided) continue;
+        ++decided;
+        mean += rec.estimate;
+        t.extra[kMax] = std::max(t.extra[kMax], rec.estimate);
+      }
+      t.extra[kMean] = decided ? mean / decided : 0.0;
+      t.extra[kInc] = static_cast<double>(out.stats.inconsistencyDecisions);
+      t.extra[kMute] = static_cast<double>(out.stats.muteDecisions);
+      t.extra[kBall] = static_cast<double>(out.stats.ballGrowthDecisions);
+      t.extra[kCut] = static_cast<double>(out.stats.sparseCutDecisions);
+      return t;
+    });
     const char* reason = "ball growth";
-    std::size_t top = out.stats.ballGrowthDecisions;
-    if (out.stats.muteDecisions > top) {
+    double top = s.extras[kBall].mean;
+    if (s.extras[kMute].mean > top) {
       reason = "mute";
-      top = out.stats.muteDecisions;
+      top = s.extras[kMute].mean;
     }
-    if (out.stats.inconsistencyDecisions > top) {
+    if (s.extras[kInc].mean > top) {
       reason = "inconsistency";
-      top = out.stats.inconsistencyDecisions;
+      top = s.extras[kInc].mean;
     }
-    if (out.stats.sparseCutDecisions > top) reason = "sparse cut";
-    localTable.addRow({e.name, Table::percent(static_cast<double>(decided) / honest),
-                       Table::num(mean, 2), Table::num(maxEst, 0), reason,
-                       Table::integer(out.result.totalRounds)});
+    if (s.extras[kCut].mean > top) reason = "sparse cut";
+    localTable.addRow({e.name, Table::percent(s.fracDecided.mean),
+                       Table::num(s.extras[kMean].mean, 2), Table::num(s.extras[kMax].max, 0),
+                       reason, Table::integer(static_cast<long long>(s.totalRounds.mean))});
   }
   localTable.print(std::cout);
   std::cout << "\nEvery attack either gets detected (early, distance-scale decisions) or gets\n"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/sync_engine.hpp"
 #include "support/require.hpp"
 
 namespace bzc {
@@ -15,71 +16,42 @@ CountingResult runGeometricMax(const Graph& g, const ByzantineSet& byz, Geometri
 
   CountingResult result;
   result.decisions.assign(n, {});
-  result.meter = MessageMeter(n);
 
+  const Round cap = params.maxRounds > 0 ? params.maxRounds : static_cast<Round>(4 * n + 16);
+  using Engine = SyncEngine<std::uint32_t>;
+  Engine engine(g, byz, cap);
+
+  // Round 1: every honest node floods its own draw. Byzantine nodes hold no
+  // coin of their own; under Inflate they announce the forged maximum once.
   std::vector<std::uint32_t> best(n, 0);
-  std::vector<char> dirty(n, 0);  // has news to broadcast next round
   for (NodeId u = 0; u < n; ++u) {
     if (byz.contains(u)) continue;
     best[u] = rng.geometricFlips();
-    dirty[u] = 1;
+    engine.broadcast(u, best[u], kValueBits);
+  }
+  if (attack == GeometricAttack::Inflate) {
+    for (NodeId b : byz.members()) engine.broadcast(b, params.inflatedValue, kValueBits);
   }
 
-  const Round cap = params.maxRounds > 0 ? params.maxRounds : static_cast<Round>(4 * n + 16);
-  std::vector<std::uint32_t> incomingMax(n, 0);
-  Round round = 0;
-  bool byzFired = false;
-  for (round = 1; round <= cap; ++round) {
-    std::fill(incomingMax.begin(), incomingMax.end(), 0);
-    bool anyMessage = false;
-    // Honest broadcasts.
-    for (NodeId u = 0; u < n; ++u) {
-      if (byz.contains(u) || !dirty[u]) continue;
-      anyMessage = true;
-      for (NodeId v : g.neighbors(u)) {
-        incomingMax[v] = std::max(incomingMax[v], best[u]);
-        result.meter.record(u, kValueBits);
-      }
+  // Later rounds: a node whose maximum improved relays it (dirty flooding).
+  // Suppressing Byzantine nodes swallow updates; inflating ones keep quiet
+  // after round 1 and let honest flooding do the damage for them.
+  auto step = [&](NodeId v, Round, std::span<const Engine::Delivery> box) {
+    std::uint32_t incomingMax = 0;
+    for (const Engine::Delivery& in : box) incomingMax = std::max(incomingMax, in.payload);
+    if (incomingMax <= best[v]) return;
+    best[v] = incomingMax;
+    if (byz.contains(v) &&
+        (attack == GeometricAttack::Suppress || attack == GeometricAttack::Inflate)) {
+      return;
     }
-    // Byzantine behaviour.
-    if (attack == GeometricAttack::Inflate && !byzFired) {
-      for (NodeId b : byz.members()) {
-        for (NodeId v : g.neighbors(b)) {
-          incomingMax[v] = std::max(incomingMax[v], params.inflatedValue);
-        }
-      }
-      byzFired = !byz.members().empty();
-      anyMessage = anyMessage || byzFired;
-    } else if (attack == GeometricAttack::None) {
-      // Byzantine nodes act honestly: forward the max they have seen. They
-      // hold no value of their own (their coin is irrelevant to honest
-      // estimates); modelled as relaying via `best` updated below.
-      for (NodeId b : byz.members()) {
-        if (!dirty[b]) continue;
-        anyMessage = true;
-        for (NodeId v : g.neighbors(b)) incomingMax[v] = std::max(incomingMax[v], best[b]);
-      }
-    }
-    // GeometricAttack::Suppress: Byzantine nodes stay silent.
+    engine.broadcast(v, best[v], kValueBits);
+  };
+  const WindowResult run = engine.runWindow(0, step);
 
-    if (!anyMessage) break;
-    std::fill(dirty.begin(), dirty.end(), 0);
-    for (NodeId u = 0; u < n; ++u) {
-      if (incomingMax[u] > best[u]) {
-        best[u] = incomingMax[u];
-        // Suppressing nodes swallow updates instead of relaying them.
-        if (!(attack == GeometricAttack::Suppress && byz.contains(u))) dirty[u] = 1;
-        if (attack == GeometricAttack::Inflate && byz.contains(u)) dirty[u] = 0;
-      }
-    }
-    if (attack == GeometricAttack::Inflate) {
-      // After the forged value is out, Byzantine nodes keep quiet; honest
-      // flooding does the damage for them.
-      for (NodeId b : byz.members()) dirty[b] = 0;
-    }
-  }
-  result.totalRounds = std::min(round, cap);
-  result.hitRoundCap = round > cap;
+  result.totalRounds = static_cast<Round>(engine.round());
+  result.hitRoundCap = run.status == WindowStatus::Capped;
+  result.meter = engine.releaseMeter();
 
   const double ln2 = std::log(2.0);
   for (NodeId u = 0; u < n; ++u) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/bfs.hpp"
+#include "runtime/sync_engine.hpp"
 #include "support/require.hpp"
 
 namespace bzc {
@@ -17,7 +18,6 @@ CountingResult runSpanningTreeCount(const Graph& g, const ByzantineSet& byz, Tre
 
   CountingResult result;
   result.decisions.assign(n, {});
-  result.meter = MessageMeter(n);
 
   // Stage 1: BFS tree (every node, Byzantine or not, joins; refusing to join
   // is subsumed by the Mute attack in stage 2).
@@ -34,46 +34,51 @@ CountingResult runSpanningTreeCount(const Graph& g, const ByzantineSet& byz, Tre
     }
   }
 
-  // Stage 2: converge-cast subtree counts, deepest layer first.
-  std::vector<NodeId> order;
-  order.reserve(n);
+  // Stage 2: converge-cast subtree counts on the engine, deepest layer first —
+  // round r is when the layer at distance depth-r+1 reports to its parents.
+  std::vector<std::vector<NodeId>> layers(depth + 1);
   for (NodeId u = 0; u < n; ++u) {
-    if (dist[u] != kUnreachable) order.push_back(u);
+    if (dist[u] != kUnreachable) layers[dist[u]].push_back(u);
   }
-  std::sort(order.begin(), order.end(),
-            [&](NodeId a, NodeId b) { return dist[a] != dist[b] ? dist[a] > dist[b] : a < b; });
+  using Engine = SyncEngine<std::uint64_t>;
+  Engine engine(g, byz);
   std::vector<std::uint64_t> subtree(n, 0);
-  for (NodeId u : order) {
-    std::uint64_t reported = subtree[u] + 1;  // children already accumulated
-    if (byz.contains(u)) {
-      switch (attack) {
-        case TreeAttack::None: break;
-        case TreeAttack::Inflate: reported += params.inflationBoost; break;
-        case TreeAttack::Undercount: reported = 1; break;
-        case TreeAttack::Mute: reported = 0; break;
+  auto report = [&](Round r) {
+    for (NodeId u : layers[depth - r + 1]) {
+      std::uint64_t reported = subtree[u] + 1;  // children already accumulated
+      if (byz.contains(u)) {
+        switch (attack) {
+          case TreeAttack::None: break;
+          case TreeAttack::Inflate: reported += params.inflationBoost; break;
+          case TreeAttack::Undercount: reported = 1; break;
+          case TreeAttack::Mute: reported = 0; break;
+        }
       }
+      if (reported > 0 && parent[u] != kNoNode) engine.unicast(u, parent[u], reported, 64);
     }
-    if (u != params.root && parent[u] != kNoNode) {
-      subtree[parent[u]] += reported;
-      if (!byz.contains(u) && reported > 0) result.meter.record(u, 64);
-    } else if (u == params.root) {
-      subtree[u] = reported;
-    }
-  }
-  const std::uint64_t announced = subtree[params.root];
+  };
+  auto accumulate = [&](NodeId v, Round, std::span<const Engine::Delivery> box) {
+    for (const Engine::Delivery& in : box) subtree[v] += in.payload;
+  };
+  const WindowResult convergecast =
+      engine.runWindow(depth, report, accumulate, NoEnd{}, IdlePolicy::RunFullWindow);
+  engine.skipRounds(depth - convergecast.roundsRun);
+  const std::uint64_t announced = subtree[params.root] + 1;
 
-  // Stage 3: root broadcasts the total down the tree.
+  // Stage 3: root broadcasts the total down the tree (depth+1 rounds). A
+  // Byzantine ancestor could also corrupt the downward broadcast; the
+  // converge-cast attack already demonstrates the failure, so the broadcast
+  // is modelled as reliable flooding with one 64-bit message per honest node.
+  engine.skipRounds(depth + 1);
   for (NodeId u = 0; u < n; ++u) {
     if (byz.contains(u) || dist[u] == kUnreachable) continue;
-    // A Byzantine ancestor could also corrupt the downward broadcast; the
-    // converge-cast attack already demonstrates the failure, so the
-    // broadcast is modelled as reliable flooding here.
-    result.meter.record(u, 64);
+    engine.meter().record(u, 64);
     result.decisions[u].decided = true;
-    result.decisions[u].round = 2 * depth + 1;
+    result.decisions[u].round = static_cast<Round>(engine.round());
     result.decisions[u].estimate = announced > 1 ? std::log(static_cast<double>(announced)) : 0.0;
   }
-  result.totalRounds = 2 * depth + 1;
+  result.totalRounds = static_cast<Round>(engine.round());
+  result.meter = engine.releaseMeter();
   return result;
 }
 

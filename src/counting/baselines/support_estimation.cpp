@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/sync_engine.hpp"
 #include "support/require.hpp"
 
 namespace bzc {
@@ -17,11 +18,18 @@ CountingResult runSupportEstimation(const Graph& g, const ByzantineSet& byz, Sup
 
   CountingResult result;
   result.decisions.assign(n, {});
-  result.meter = MessageMeter(n);
+
+  // A message is "my current coordinate-wise minima": receivers read the
+  // sender's row directly (rows are stable for the whole run, and updates are
+  // deferred to the end-of-round hook, so a row read during delivery is
+  // exactly the state the sender flushed).
+  struct MinsRef {};
+  using Engine = SyncEngine<MinsRef>;
+  const Round cap = params.maxRounds > 0 ? params.maxRounds : static_cast<Round>(4 * n + 16);
+  Engine engine(g, byz, cap);
 
   // mins[u*k + j]: node u's current minimum for coordinate j.
   std::vector<double> mins(static_cast<std::size_t>(n) * k);
-  std::vector<char> dirty(n, 0);
   for (NodeId u = 0; u < n; ++u) {
     const bool isByz = byz.contains(u);
     for (std::uint32_t j = 0; j < k; ++j) {
@@ -30,43 +38,45 @@ CountingResult runSupportEstimation(const Graph& g, const ByzantineSet& byz, Sup
       if (isByz && attack == SupportAttack::ZeroInject) draw = params.injectedValue;
       mins[static_cast<std::size_t>(u) * k + j] = draw;
     }
-    dirty[u] = (!isByz || attack != SupportAttack::Suppress) ? 1 : 0;
+    if (!isByz || attack != SupportAttack::Suppress) engine.broadcast(u, MinsRef{}, messageBits);
   }
 
-  const Round cap = params.maxRounds > 0 ? params.maxRounds : static_cast<Round>(4 * n + 16);
-  std::vector<double> incoming(static_cast<std::size_t>(n) * k);
-  Round round = 0;
-  for (round = 1; round <= cap; ++round) {
-    std::fill(incoming.begin(), incoming.end(), std::numeric_limits<double>::infinity());
-    bool anyMessage = false;
-    for (NodeId u = 0; u < n; ++u) {
-      if (!dirty[u]) continue;
-      if (byz.contains(u) && attack == SupportAttack::Suppress) continue;
-      anyMessage = true;
-      for (NodeId v : g.neighbors(u)) {
-        if (!byz.contains(u)) result.meter.record(u, messageBits);
-        for (std::uint32_t j = 0; j < k; ++j) {
-          const std::size_t vi = static_cast<std::size_t>(v) * k + j;
-          incoming[vi] = std::min(incoming[vi], mins[static_cast<std::size_t>(u) * k + j]);
-        }
+  std::vector<double> incoming(static_cast<std::size_t>(n) * k,
+                               std::numeric_limits<double>::infinity());
+  std::vector<NodeId> touched;
+  auto fold = [&](NodeId v, Round, std::span<const Engine::Delivery> box) {
+    touched.push_back(v);
+    for (const Engine::Delivery& in : box) {
+      const std::size_t senderRow = static_cast<std::size_t>(in.sender) * k;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        const std::size_t vi = static_cast<std::size_t>(v) * k + j;
+        incoming[vi] = std::min(incoming[vi], mins[senderRow + j]);
       }
     }
-    if (!anyMessage) break;
-    std::fill(dirty.begin(), dirty.end(), 0);
-    for (NodeId u = 0; u < n; ++u) {
+  };
+  auto applyUpdates = [&](Round) {
+    for (NodeId v : touched) {
       bool improved = false;
       for (std::uint32_t j = 0; j < k; ++j) {
-        const std::size_t ui = static_cast<std::size_t>(u) * k + j;
-        if (incoming[ui] < mins[ui]) {
-          mins[ui] = incoming[ui];
+        const std::size_t vi = static_cast<std::size_t>(v) * k + j;
+        if (incoming[vi] < mins[vi]) {
+          mins[vi] = incoming[vi];
           improved = true;
         }
+        incoming[vi] = std::numeric_limits<double>::infinity();
       }
-      if (improved && !(byz.contains(u) && attack == SupportAttack::Suppress)) dirty[u] = 1;
+      if (improved && !(byz.contains(v) && attack == SupportAttack::Suppress)) {
+        engine.broadcast(v, MinsRef{}, messageBits);
+      }
     }
-  }
-  result.totalRounds = std::min(round, cap);
-  result.hitRoundCap = round > cap;
+    touched.clear();
+    return true;
+  };
+  const WindowResult run = engine.runWindow(0, NoEmit{}, fold, applyUpdates);
+
+  result.totalRounds = static_cast<Round>(engine.round());
+  result.hitRoundCap = run.status == WindowStatus::Capped;
+  result.meter = engine.releaseMeter();
 
   for (NodeId u = 0; u < n; ++u) {
     if (byz.contains(u)) continue;

@@ -7,6 +7,7 @@
 
 #include "counting/beacon/path.hpp"
 #include "graph/bfs.hpp"
+#include "runtime/sync_engine.hpp"
 #include "support/require.hpp"
 
 namespace bzc {
@@ -23,10 +24,7 @@ struct Beacon {
   std::uint32_t len = 0;   ///< number of IDs on `path`
 };
 
-struct Incoming {
-  NodeId sender = kNoNode;
-  Beacon beacon;
-};
+using Engine = SyncEngine<Beacon>;
 
 /// Bits of a beacon message carrying `pathLen` IDs plus the origin ID.
 [[nodiscard]] std::size_t beaconBits(std::uint32_t pathLen) {
@@ -44,15 +42,13 @@ struct Incoming {
                           [&](PublicId id) { return bl.count(id) == 0; });
 }
 
-/// Per-run mutable state, grouped so helper lambdas stay readable.
+/// Per-run mutable state, grouped so the step policies stay readable.
+/// Messaging state (inboxes, pending sends) lives in the SyncEngine.
 struct RunState {
   explicit RunState(NodeId n)
       : participating(n, 1),
         decided(n, 0),
         blacklist(n),
-        hasPending(n, 0),
-        pending(n),
-        inbox(n),
         hasShortest(n, 0),
         ownBeacon(n, 0),
         shortest(n),
@@ -62,11 +58,6 @@ struct RunState {
   std::vector<char> participating;
   std::vector<char> decided;
   std::vector<std::unordered_set<PublicId>> blacklist;  // reset each phase
-
-  // Per-round messaging state.
-  std::vector<char> hasPending;
-  std::vector<Beacon> pending;
-  std::vector<std::vector<Incoming>> inbox;
 
   // Per-iteration state.
   std::vector<char> hasShortest;
@@ -98,7 +89,6 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
 
   BeaconOutcome out;
   out.result.decisions.assign(n, {});
-  out.result.meter = MessageMeter(n);
   out.stats.decidedPhase.assign(n, 0);
 
   // Targeted forging: restrict the forging set to the victim's vicinity.
@@ -114,13 +104,8 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
 
   RunState st(n);
   PathArena arena;
-  std::vector<NodeId> senders;      // nodes with hasPending, this round
-  std::vector<NodeId> nextSenders;  // nodes that will broadcast next round
-  std::vector<NodeId> touched;      // nodes with a nonempty inbox this round
-  std::vector<NodeId> frontier;     // continue-flood BFS frontier
-  std::vector<NodeId> nextFrontier;
+  Engine engine(g, byz, maxRounds);
 
-  std::uint64_t globalRound = 0;
   std::size_t undecidedHonest = n - byz.count();
 
   auto makeForgedBeacon = [&](std::uint32_t prefixLen) {
@@ -163,124 +148,92 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
     }
 
     for (std::uint32_t iter = 1; iter <= iterations && !capped; ++iter) {
-      if (globalRound + BeaconParams::roundsPerIteration(phase) > maxRounds) {
+      if (engine.wouldExceed(BeaconParams::roundsPerIteration(phase))) {
         capped = true;
         break;
       }
       arena.clear();
+      engine.clearPending();
       std::fill(st.hasShortest.begin(), st.hasShortest.end(), 0);
       std::fill(st.ownBeacon.begin(), st.ownBeacon.end(), 0);
-      std::fill(st.hasPending.begin(), st.hasPending.end(), 0);
-      senders.clear();
 
-      // --- Line 5-11: activations at the start of the iteration. ---
+      // --- Line 5-11: activations, queued as round-1 broadcasts. ---
       for (NodeId u = 0; u < n; ++u) {
         if (byz.contains(u)) {
           if (forges[u]) {
-            st.pending[u] = makeForgedBeacon(attack.fakePrefixLength);
-            st.hasPending[u] = 1;
-            senders.push_back(u);
+            const Beacon forged = makeForgedBeacon(attack.fakePrefixLength);
+            engine.broadcast(u, forged, beaconBits(forged.len));
           }
           continue;
         }
         if (!st.participating[u]) continue;
         const double p = params.activationProbability(phase, g.degree(u));
         if (actRng.bernoulli(p)) {
-          st.pending[u] = Beacon{ids.publicId(u), kNoPath, 0};
-          st.hasPending[u] = 1;
+          engine.broadcast(u, Beacon{ids.publicId(u), kNoPath, 0}, beaconBits(0));
           st.hasShortest[u] = 1;  // Line 7: shortestPath <- (u)
           st.ownBeacon[u] = 1;
-          senders.push_back(u);
           ++out.stats.beaconsGenerated;
         }
       }
 
-      // --- Beacon window: i+2 rounds of flooding. ---
-      for (std::uint32_t r = 1; r <= beaconWindow; ++r) {
-        ++globalRound;
-        touched.clear();
-        for (NodeId u : senders) {
-          const Beacon& b = st.pending[u];
-          if (!byz.contains(u)) {
-            out.result.meter.recordBroadcast(u, beaconBits(b.len), g.degree(u));
-          }
-          for (NodeId v : g.neighbors(u)) {
-            if (st.inbox[v].empty()) touched.push_back(v);
-            st.inbox[v].push_back({u, b});
-          }
-        }
-        // Everyone's message from this round is now out; compute next round's.
-        std::fill(st.hasPending.begin(), st.hasPending.end(), 0);
-        nextSenders.clear();
-        for (NodeId v : touched) {
-          auto& box = st.inbox[v];
-          if (byz.contains(v)) {
-            if (attack.relayBeacons && r < beaconWindow) {
-              if (attack.tamperRelayedPaths) {
-                st.pending[v] = makeForgedBeacon(attack.fakePrefixLength);
-              } else {
-                const Incoming& in = box.front();
-                Beacon fwd = in.beacon;
-                fwd.path = arena.append(fwd.path, ids.publicId(in.sender));
-                ++fwd.len;
-                st.pending[v] = fwd;
-              }
-              st.hasPending[v] = 1;
-              nextSenders.push_back(v);
+      // --- Beacon window: i+2 rounds of flooding on the engine. ---
+      auto beaconStep = [&](NodeId v, Round r, std::span<const Engine::Delivery> box) {
+        if (byz.contains(v)) {
+          if (attack.relayBeacons && r < beaconWindow) {
+            Beacon fwd;
+            if (attack.tamperRelayedPaths) {
+              fwd = makeForgedBeacon(attack.fakePrefixLength);
+            } else {
+              const Engine::Delivery& in = box.front();
+              fwd = in.payload;
+              fwd.path = arena.append(fwd.path, ids.publicId(in.sender));
+              ++fwd.len;
             }
-            box.clear();
-            continue;
+            engine.broadcast(v, fwd, beaconBits(fwd.len));
           }
-          if (!st.participating[v]) {
-            box.clear();  // exited nodes stay mute
-            continue;
-          }
-          // Line 13-14: pick one message per the policy. Acceptability only
-          // matters while the node still needs a shortestPath this iteration
-          // (decided re-entrants and nodes with shortestPath set just relay),
-          // which keeps the prefix walks off the fan-out fast path.
-          const bool needsAccept = !st.decided[v] && !st.hasShortest[v];
-          const Incoming* chosen = &box.front();
-          bool chosenAcceptable = false;
-          if (needsAccept) {
-            chosenAcceptable = pathAcceptable(st.blacklist[v], arena, chosen->beacon,
-                                              ids.publicId(chosen->sender), suffix);
-            if (params.choice == BeaconChoicePolicy::PreferAcceptable && box.size() > 1) {
-              for (std::size_t k = 1; k < box.size(); ++k) {
-                const Incoming& cand = box[k];
-                if (chosenAcceptable && chosen->beacon.len <= cand.beacon.len) continue;
-                const bool acc = pathAcceptable(st.blacklist[v], arena, cand.beacon,
-                                                ids.publicId(cand.sender), suffix);
-                const bool better =
-                    (acc && !chosenAcceptable) ||
-                    (acc == chosenAcceptable && cand.beacon.len < chosen->beacon.len);
-                if (better) {
-                  chosen = &cand;
-                  chosenAcceptable = acc;
-                }
+          return;
+        }
+        if (!st.participating[v]) return;  // exited nodes stay mute
+        // Line 13-14: pick one message per the policy. Acceptability only
+        // matters while the node still needs a shortestPath this iteration
+        // (decided re-entrants and nodes with shortestPath set just relay),
+        // which keeps the prefix walks off the fan-out fast path.
+        const bool needsAccept = !st.decided[v] && !st.hasShortest[v];
+        const Engine::Delivery* chosen = &box.front();
+        bool chosenAcceptable = false;
+        if (needsAccept) {
+          chosenAcceptable = pathAcceptable(st.blacklist[v], arena, chosen->payload,
+                                            ids.publicId(chosen->sender), suffix);
+          if (params.choice == BeaconChoicePolicy::PreferAcceptable && box.size() > 1) {
+            for (std::size_t k = 1; k < box.size(); ++k) {
+              const Engine::Delivery& cand = box[k];
+              if (chosenAcceptable && chosen->payload.len <= cand.payload.len) continue;
+              const bool acc = pathAcceptable(st.blacklist[v], arena, cand.payload,
+                                              ids.publicId(cand.sender), suffix);
+              const bool better =
+                  (acc && !chosenAcceptable) ||
+                  (acc == chosenAcceptable && cand.payload.len < chosen->payload.len);
+              if (better) {
+                chosen = &cand;
+                chosenAcceptable = acc;
               }
             }
           }
-          // Line 16: the receiver appends the sender's (unfakeable) ID.
-          Beacon forwarded = chosen->beacon;
-          forwarded.path = arena.append(forwarded.path, ids.publicId(chosen->sender));
-          ++forwarded.len;
-          // Lines 20-25: update shortestPath with the first acceptable beacon.
-          if (chosenAcceptable && !st.hasShortest[v]) {
-            st.hasShortest[v] = 1;
-            st.shortest[v] = forwarded;
-          }
-          // Lines 17-19: keep flooding while the window allows another hop.
-          if (r < beaconWindow) {
-            st.pending[v] = forwarded;
-            st.hasPending[v] = 1;
-            nextSenders.push_back(v);
-          }
-          box.clear();
         }
-        senders.swap(nextSenders);
-      }
-      senders.clear();
+        // Line 16: the receiver appends the sender's (unfakeable) ID.
+        Beacon forwarded = chosen->payload;
+        forwarded.path = arena.append(forwarded.path, ids.publicId(chosen->sender));
+        ++forwarded.len;
+        // Lines 20-25: update shortestPath with the first acceptable beacon.
+        if (chosenAcceptable && !st.hasShortest[v]) {
+          st.hasShortest[v] = 1;
+          st.shortest[v] = forwarded;
+        }
+        // Lines 17-19: keep flooding while the window allows another hop.
+        if (r < beaconWindow) engine.broadcast(v, forwarded, beaconBits(forwarded.len));
+      };
+      const WindowResult beaconRun = engine.runWindow(beaconWindow, beaconStep);
+      engine.skipRounds(beaconWindow - beaconRun.roundsRun);
 
       // --- Lines 28-32: decisions and blacklist maintenance. ---
       for (NodeId u = 0; u < n; ++u) {
@@ -290,7 +243,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
           --undecidedHonest;
           out.stats.decidedPhase[u] = phase;
           out.result.decisions[u].decided = true;
-          out.result.decisions[u].round = static_cast<Round>(globalRound);
+          out.result.decisions[u].round = static_cast<Round>(engine.round());
           out.result.decisions[u].estimate = static_cast<double>(phase);
         } else if (params.blacklistEnabled && !st.ownBeacon[u]) {
           const std::uint32_t len = st.shortest[u].len;
@@ -304,13 +257,11 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         }
       }
       if (undecidedHonest == 0 && out.stats.roundsUntilAllDecided == 0) {
-        out.stats.roundsUntilAllDecided = static_cast<Round>(globalRound);
+        out.stats.roundsUntilAllDecided = static_cast<Round>(engine.round());
       }
 
-      // --- Lines 34-41: continue flood, i+3 rounds. ---
-      globalRound += continueWindow;
+      // --- Lines 34-41: continue flood, i+3 rounds on the engine. ---
       std::fill(st.receivedContinue.begin(), st.receivedContinue.end(), 0);
-      frontier.clear();
       for (NodeId u = 0; u < n; ++u) {
         const bool honestSource = !byz.contains(u) && st.participating[u] && !st.decided[u] &&
                                   params.continueEnabled;
@@ -318,30 +269,16 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         if (!honestSource && !byzSource) continue;
         if (honestSource) ++out.stats.continueMessages;
         st.receivedContinue[u] = 1;  // sources need no re-entry signal
-        frontier.push_back(u);
+        engine.broadcast(u, Beacon{}, kContinueBits);
       }
-      // Sources broadcast in round 1; relays run rounds 2..continueWindow,
-      // so the flood reaches distance `continueWindow`.
-      for (std::uint32_t depth = 1; depth <= continueWindow && !frontier.empty(); ++depth) {
-        nextFrontier.clear();
-        for (NodeId u : frontier) {
-          const bool emits = depth == 1  // sources always emit their own
-                                 ? true
-                                 : (byz.contains(u) ? attack.relayContinues
-                                                    : st.participating[u] != 0);
-          if (!emits) continue;
-          if (!byz.contains(u)) {
-            out.result.meter.recordBroadcast(u, kContinueBits, g.degree(u));
-          }
-          for (NodeId v : g.neighbors(u)) {
-            if (!st.receivedContinue[v]) {
-              st.receivedContinue[v] = 1;
-              nextFrontier.push_back(v);
-            }
-          }
-        }
-        frontier.swap(nextFrontier);
-      }
+      auto continueStep = [&](NodeId v, Round r, std::span<const Engine::Delivery>) {
+        if (st.receivedContinue[v]) return;
+        st.receivedContinue[v] = 1;
+        const bool relays = byz.contains(v) ? attack.relayContinues : st.participating[v] != 0;
+        if (relays && r < continueWindow) engine.broadcast(v, Beacon{}, kContinueBits);
+      };
+      const WindowResult continueRun = engine.runWindow(continueWindow, continueStep);
+      engine.skipRounds(continueWindow - continueRun.roundsRun);
 
       // Lines 38-44: exit or (re-)enter for the next iteration.
       bool anyHonestParticipant = false;
@@ -354,8 +291,10 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
     }
   }
 
-  out.result.totalRounds = static_cast<Round>(std::min<std::uint64_t>(globalRound, 0xffffffffu));
+  out.result.totalRounds =
+      static_cast<Round>(std::min<std::uint64_t>(engine.round(), 0xffffffffu));
   out.result.hitRoundCap = capped;
+  out.result.meter = engine.releaseMeter();
   if (!out.stats.quiesced) {
     // The phase loop may have ended by cap/maxPhase; re-check quiescence.
     bool anyParticipant = false;

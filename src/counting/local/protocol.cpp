@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/bfs.hpp"
+#include "runtime/sync_engine.hpp"
 #include "sim/ids.hpp"
 #include "support/require.hpp"
 
@@ -16,6 +17,19 @@ std::size_t recordBits(const RecordPool& pool, RecordIdx r) {
   // One ID for the subject plus one per incident edge.
   return IdSpace::bitsPerId() * (1 + pool.degree(r));
 }
+
+/// One round's broadcast from a node: a slice of the sender's integration log
+/// (the records it learned last round) plus any adversarial fabrications.
+/// Views live in a stable vector, so the pointers outlive the round.
+struct DeltaMsg {
+  const std::vector<RecordIdx>* log = nullptr;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  const std::vector<RecordIdx>* extra = nullptr;
+};
+
+using Engine = SyncEngine<DeltaMsg>;
+
 }  // namespace
 
 LocalOutcome runLocalCounting(const Graph& g, const ByzantineSet& byz, LocalAdversary& adversary,
@@ -38,7 +52,6 @@ LocalOutcome runLocalCounting(const Graph& g, const ByzantineSet& byz, LocalAdve
 
   LocalOutcome out;
   out.result.decisions.assign(n, {});
-  out.result.meter = MessageMeter(n);
   out.stats.reason.assign(n, LocalDecideReason::Undecided);
   out.stats.distToByz = byz.distanceToByzantine(g);
 
@@ -74,83 +87,80 @@ LocalOutcome runLocalCounting(const Graph& g, const ByzantineSet& byz, LocalAdve
     }
   };
 
-  struct Outgoing {
-    bool sends = false;
-    std::size_t sliceBegin = 0;  // into the sender's integration log
-    std::size_t sliceEnd = 0;
-    std::vector<RecordIdx> extra;  // adversarial fabrications
-  };
-  std::vector<Outgoing> outgoing(n);
+  Engine engine(g, byz, cap);
+  std::vector<std::vector<RecordIdx>> extras(n);  // adversarial fabrications, per round
 
-  Round round = 1;
-  for (round = 1; round <= cap && undecidedHonest > 0; ++round) {
-    // --- Emission phase. ---
+  // --- Emission: every undecided node broadcasts last round's delta. ---
+  auto emit = [&](Round) {
+    const auto round = static_cast<Round>(engine.round());
     for (NodeId u = 0; u < n; ++u) {
-      Outgoing& o = outgoing[u];
-      o.extra.clear();
       if (byz.contains(u)) {
         auto emission = adversary.emit(u, round);
-        o.sends = !emission.mute;
-        o.extra = std::move(emission.records);
-        if (adversary.relaysHonest() && o.sends) {
-          o.sliceBegin = views[u].roundMark(round - 1);
-          o.sliceEnd = views[u].roundMark(round);
-        } else {
-          o.sliceBegin = o.sliceEnd = 0;
+        extras[u] = std::move(emission.records);
+        if (emission.mute) continue;
+        DeltaMsg m;
+        m.extra = &extras[u];
+        if (adversary.relaysHonest()) {
+          m.log = &views[u].integrationLog();
+          m.begin = static_cast<std::uint32_t>(views[u].roundMark(round - 1));
+          m.end = static_cast<std::uint32_t>(views[u].roundMark(round));
         }
+        engine.broadcast(u, m, 0);  // Byzantine traffic is never metered
         continue;
       }
-      if (decided[u]) {
-        o.sends = false;  // terminated nodes are mute (this is what Line 5 sees)
-        continue;
-      }
-      o.sends = true;
-      o.sliceBegin = views[u].roundMark(round - 1);
-      o.sliceEnd = views[u].roundMark(round);
+      if (decided[u]) continue;  // terminated nodes are mute (this is what Line 5 sees)
+      DeltaMsg m;
+      m.log = &views[u].integrationLog();
+      m.begin = static_cast<std::uint32_t>(views[u].roundMark(round - 1));
+      m.end = static_cast<std::uint32_t>(views[u].roundMark(round));
       std::size_t bits = kHeartbeatBits;
-      const auto& log = views[u].integrationLog();
-      for (std::size_t k = o.sliceBegin; k < o.sliceEnd; ++k) bits += recordBits(pool, log[k]);
-      out.result.meter.recordBroadcast(u, bits, g.degree(u));
+      const auto& log = *m.log;
+      for (std::uint32_t k = m.begin; k < m.end; ++k) bits += recordBits(pool, log[k]);
+      engine.broadcast(u, m, bits);
     }
+  };
 
-    // --- Delivery & integration. ---
+  // --- Integration + checks, run once per round over all nodes. ---
+  auto endOfRound = [&](Round) {
+    const auto round = static_cast<Round>(engine.round());
     for (NodeId u = 0; u < n; ++u) {
       if (decided[u]) continue;
       const bool isByz = byz.contains(u);
       if (isByz && !adversary.relaysHonest()) continue;  // no view upkeep needed
-      bool decidedNow = false;
-      // Line 5: a mute neighbour triggers an immediate decision.
-      if (!isByz) {
-        for (NodeId w : g.neighbors(u)) {
-          if (!outgoing[w].sends) {
-            decide(u, round, LocalDecideReason::MuteNeighbor);
-            decidedNow = true;
-            break;
-          }
-        }
-        if (decidedNow) continue;
+      const std::span<const Engine::Delivery> box = engine.inboxOf(u);
+      // Line 5: a mute neighbour triggers an immediate decision. Every sending
+      // neighbour contributes one delivery per incident edge, so a short inbox
+      // means someone stayed silent.
+      if (!isByz && box.size() < g.degree(u)) {
+        decide(u, round, LocalDecideReason::MuteNeighbor);
+        continue;
       }
       LocalView& view = views[u];
-      for (NodeId w : g.neighbors(u) ) {
-        const Outgoing& o = outgoing[w];
-        if (!o.sends) continue;  // byzantine relay path reaches here
-        const auto& log = views[w].integrationLog();
-        for (std::size_t k = o.sliceBegin; k < o.sliceEnd && !decidedNow; ++k) {
-          const RecordIdx rec = log[k];
-          if (view.knows(rec)) continue;
-          const IntegrationVerdict v = view.integrate(rec, round);
-          if (!isByz && v != IntegrationVerdict::Ok && v != IntegrationVerdict::Duplicate) {
-            decide(u, round, LocalDecideReason::Inconsistency);
-            decidedNow = true;
+      bool decidedNow = false;
+      for (const Engine::Delivery& in : box) {
+        const DeltaMsg& m = in.payload;
+        if (m.log != nullptr) {
+          const auto& log = *m.log;
+          for (std::uint32_t k = m.begin; k < m.end && !decidedNow; ++k) {
+            const RecordIdx rec = log[k];
+            if (view.knows(rec)) continue;
+            const IntegrationVerdict v = view.integrate(rec, round);
+            if (!isByz && v != IntegrationVerdict::Ok && v != IntegrationVerdict::Duplicate) {
+              decide(u, round, LocalDecideReason::Inconsistency);
+              decidedNow = true;
+            }
           }
         }
-        for (std::size_t k = 0; k < o.extra.size() && !decidedNow; ++k) {
-          const RecordIdx rec = o.extra[k];
-          if (view.knows(rec)) continue;
-          const IntegrationVerdict v = view.integrate(rec, round);
-          if (!isByz && v != IntegrationVerdict::Ok && v != IntegrationVerdict::Duplicate) {
-            decide(u, round, LocalDecideReason::Inconsistency);
-            decidedNow = true;
+        if (m.extra != nullptr) {
+          const auto& extra = *m.extra;
+          for (std::size_t k = 0; k < extra.size() && !decidedNow; ++k) {
+            const RecordIdx rec = extra[k];
+            if (view.knows(rec)) continue;
+            const IntegrationVerdict v = view.integrate(rec, round);
+            if (!isByz && v != IntegrationVerdict::Ok && v != IntegrationVerdict::Duplicate) {
+              decide(u, round, LocalDecideReason::Inconsistency);
+              decidedNow = true;
+            }
           }
         }
         if (decidedNow) break;
@@ -170,10 +180,21 @@ LocalOutcome runLocalCounting(const Graph& g, const ByzantineSet& byz, LocalAdve
           break;
       }
     }
+    return undecidedHonest > 0;
+  };
+
+  WindowResult run{WindowStatus::Stopped, 0};
+  if (undecidedHonest > 0) {
+    run = engine.runWindow(0, emit, Engine::NoRecv{}, endOfRound);
+    // While honest undecided nodes remain they keep broadcasting, so the
+    // engine can only stop via the round cap or the all-decided hook.
+    BZC_ASSERT(run.status != WindowStatus::Quiesced);
   }
 
-  out.result.totalRounds = std::min<Round>(round, cap);
+  out.result.totalRounds =
+      std::min<Round>(static_cast<Round>(engine.round()) + (run.status == WindowStatus::Stopped ? 1 : 0), cap);
   out.result.hitRoundCap = undecidedHonest > 0;
+  out.result.meter = engine.releaseMeter();
   out.stats.undecidedAtCap = undecidedHonest;
   return out;
 }

@@ -30,7 +30,14 @@ Graph::Graph(NodeId numNodes, const std::vector<std::pair<NodeId, NodeId>>& edge
 
 bool Graph::hasEdge(NodeId u, NodeId v) const {
   const auto nbrs = neighbors(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  return it != nbrs.end() && *it == v;
+}
+
+std::size_t Graph::edgeMultiplicity(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  const auto [first, last] = std::equal_range(nbrs.begin(), nbrs.end(), v);
+  return static_cast<std::size_t>(last - first);
 }
 
 std::size_t Graph::multiEdgeCount() const {

@@ -34,8 +34,12 @@ class Graph {
   }
   [[nodiscard]] NodeId maxDegree() const noexcept { return maxDegree_; }
 
-  /// True if v appears in u's adjacency (O(deg) scan; degrees are constant).
+  /// True if v appears in u's adjacency. Per-node adjacency is sorted, so
+  /// this is an O(log deg) binary search, not a linear scan.
   [[nodiscard]] bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Number of parallel u-v edges (0 when none). O(log deg).
+  [[nodiscard]] std::size_t edgeMultiplicity(NodeId u, NodeId v) const;
 
   /// Number of parallel edges collapsed when viewing this as a simple graph.
   [[nodiscard]] std::size_t multiEdgeCount() const;

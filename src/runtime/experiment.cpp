@@ -1,0 +1,193 @@
+#include "runtime/experiment.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "counting/beacon/protocol.hpp"
+#include "graph/generators.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/require.hpp"
+#include "support/stats.hpp"
+
+namespace bzc {
+
+Graph buildGraph(const GraphSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case GraphKind::Hnd: return hnd(spec.n, spec.degree, rng);
+    case GraphKind::ConfigurationModel: return configurationModel(spec.n, spec.degree, rng);
+    case GraphKind::WattsStrogatz:
+      return wattsStrogatz(spec.n, spec.degree, spec.rewireProbability, rng);
+    case GraphKind::Ring: return ring(spec.n);
+    case GraphKind::BinaryTree: return binaryTree(spec.n);
+    case GraphKind::Complete: return complete(spec.n);
+  }
+  BZC_REQUIRE(false, "unknown graph kind");
+  return {};
+}
+
+namespace {
+
+// Stream tags for the per-trial forks; arbitrary but fixed forever (changing
+// them silently invalidates every pinned expectation downstream).
+constexpr std::uint64_t kGraphStream = 0x6a4f;
+constexpr std::uint64_t kPlacementStream = 0xb52d;
+constexpr std::uint64_t kProtocolStream = 0x52aa;
+
+}  // namespace
+
+MaterializedTrial materializeTrial(const ScenarioSpec& spec, std::uint32_t index) {
+  const Rng master(spec.masterSeed);
+  const Rng trialRng = master.fork(index);
+
+  Rng graphRng = trialRng.fork(kGraphStream);
+  Graph graph = buildGraph(spec.graph, graphRng);
+
+  PlacementSpec placement = spec.placement;
+  if (spec.byzGamma > 0.0) placement.count = byzantineBudget(spec.graph.n, spec.byzGamma);
+  Rng placeRng = trialRng.fork(kPlacementStream);
+  ByzantineSet byz = placeByzantine(graph, placement, placeRng);
+
+  return {std::move(graph), std::move(byz), trialRng.fork(kProtocolStream)};
+}
+
+TrialOutcome ExperimentRunner::runTrial(const ScenarioSpec& spec, std::uint32_t index) {
+  MaterializedTrial trial = materializeTrial(spec, index);
+  const NodeId n = trial.graph.numNodes();
+
+  CountingResult result;
+  switch (spec.protocol) {
+    case ProtocolKind::Beacon:
+      result = runBeaconCounting(trial.graph, trial.byz, spec.beaconAttack, spec.beaconParams,
+                                 spec.beaconLimits, trial.runRng)
+                   .result;
+      break;
+    case ProtocolKind::Local: {
+      std::unique_ptr<LocalAdversary> adversary =
+          spec.localAdversary ? spec.localAdversary() : makeHonestLocalAdversary();
+      result = runLocalCounting(trial.graph, trial.byz, *adversary, spec.localParams,
+                                trial.runRng, spec.placement.victim)
+                   .result;
+      break;
+    }
+    case ProtocolKind::GeometricMax:
+      result = runGeometricMax(trial.graph, trial.byz, spec.geometricAttack, spec.geometricParams,
+                               trial.runRng);
+      break;
+    case ProtocolKind::SupportEstimation:
+      result = runSupportEstimation(trial.graph, trial.byz, spec.supportAttack, spec.supportParams,
+                                    trial.runRng);
+      break;
+    case ProtocolKind::SpanningTree: {
+      TreeParams params = spec.treeParams;
+      // The protocol requires an honest root; random placement may have taken
+      // the configured one, so fall back to the smallest honest node.
+      if (trial.byz.contains(params.root)) {
+        for (NodeId u = 0; u < n; ++u) {
+          if (!trial.byz.contains(u)) {
+            params.root = u;
+            break;
+          }
+        }
+      }
+      result = runSpanningTreeCount(trial.graph, trial.byz, spec.treeAttack, params);
+      break;
+    }
+  }
+
+  TrialOutcome outcome;
+  outcome.quality = evaluateQuality(result, trial.byz, n, spec.window);
+  outcome.totalRounds = result.totalRounds;
+  outcome.hitRoundCap = result.hitRoundCap;
+  outcome.totalMessages = result.meter.totalMessages();
+  outcome.totalBits = result.meter.totalBits();
+  outcome.resultFingerprint = fingerprint(result, n);
+  return outcome;
+}
+
+Distribution Distribution::of(std::vector<double> sample) {
+  Distribution d;
+  if (sample.empty()) return d;
+  RunningStat stat;
+  for (double x : sample) stat.add(x);
+  d.mean = stat.mean();
+  d.min = stat.min();
+  d.max = stat.max();
+  // Sort once; quantile() would otherwise copy and re-sort per call.
+  std::sort(sample.begin(), sample.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(sample.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = lo + 1 < sample.size() ? lo + 1 : lo;
+    const double frac = pos - static_cast<double>(lo);
+    return sample[lo] + (sample[hi] - sample[lo]) * frac;
+  };
+  d.p10 = at(0.10);
+  d.p50 = at(0.50);
+  d.p90 = at(0.90);
+  return d;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned threads)
+    : pool_(std::make_unique<ThreadPool>(threads)) {}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+unsigned ExperimentRunner::threadCount() const noexcept { return pool_->threadCount(); }
+
+ExperimentSummary ExperimentRunner::run(const ScenarioSpec& spec) {
+  return runCustom(spec.name, spec.trials,
+                   [&spec](std::uint32_t index) { return runTrial(spec, index); });
+}
+
+ExperimentSummary ExperimentRunner::runCustom(const std::string& name, std::uint32_t trials,
+                                              const TrialFn& fn) {
+  BZC_REQUIRE(trials > 0, "need at least one trial");
+  std::vector<TrialOutcome> outcomes(trials);
+  pool_->parallelFor(trials, [&](std::size_t i) {
+    outcomes[i] = fn(static_cast<std::uint32_t>(i));
+  });
+
+  // Aggregation walks trials in index order, so the summary (and especially
+  // combinedFingerprint) is independent of which worker ran which trial.
+  ExperimentSummary summary;
+  summary.name = name;
+  summary.trials = trials;
+
+  std::vector<double> fracDecided, fracWithin, meanRatio, rounds, messages, bits;
+  fracDecided.reserve(trials);
+  fracWithin.reserve(trials);
+  meanRatio.reserve(trials);
+  rounds.reserve(trials);
+  messages.reserve(trials);
+  bits.reserve(trials);
+  const std::size_t extraSlots = outcomes.front().extra.size();
+  std::vector<std::vector<double>> extras(extraSlots);
+
+  std::uint64_t combined = 0xcbf29ce484222325ULL;
+  for (const TrialOutcome& t : outcomes) {
+    BZC_REQUIRE(t.extra.size() == extraSlots, "trials disagree on extra metric count");
+    fracDecided.push_back(t.quality.fracDecided);
+    fracWithin.push_back(t.quality.fracWithinWindow);
+    meanRatio.push_back(t.quality.meanRatio);
+    rounds.push_back(static_cast<double>(t.totalRounds));
+    messages.push_back(static_cast<double>(t.totalMessages));
+    bits.push_back(static_cast<double>(t.totalBits));
+    for (std::size_t s = 0; s < extraSlots; ++s) extras[s].push_back(t.extra[s]);
+    if (t.hitRoundCap) ++summary.cappedTrials;
+    combined = fnv1a64(&t.resultFingerprint, sizeof t.resultFingerprint, combined);
+  }
+  summary.fracDecided = Distribution::of(std::move(fracDecided));
+  summary.fracWithinWindow = Distribution::of(std::move(fracWithin));
+  summary.meanRatio = Distribution::of(std::move(meanRatio));
+  summary.totalRounds = Distribution::of(std::move(rounds));
+  summary.totalMessages = Distribution::of(std::move(messages));
+  summary.totalBits = Distribution::of(std::move(bits));
+  summary.extras.reserve(extraSlots);
+  for (std::vector<double>& slot : extras) summary.extras.push_back(Distribution::of(std::move(slot)));
+  summary.combinedFingerprint = combined;
+  summary.perTrial = std::move(outcomes);
+  return summary;
+}
+
+}  // namespace bzc

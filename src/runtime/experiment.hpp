@@ -1,0 +1,168 @@
+// ExperimentRunner: batched, seed-deterministic multi-trial execution.
+//
+// A ScenarioSpec names a workload (graph generator × Byzantine placement ×
+// attack profile × protocol params); the runner fans R independent trials out
+// over a thread pool. Trial i derives every random stream it touches from
+// fork(masterSeed, i), so results are bit-identical regardless of thread
+// count or scheduling — the property the runtime determinism tests pin down,
+// and the statistical depth the paper-reproduction benches need (both
+// Lenzen–Rybicki and Chatterjee–Pandurangan–Robinson evaluate across many
+// placements/seeds). See DESIGN.md §5.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "counting/baselines/geometric.hpp"
+#include "counting/baselines/spanning_tree.hpp"
+#include "counting/baselines/support_estimation.hpp"
+#include "counting/beacon/attacks.hpp"
+#include "counting/beacon/params.hpp"
+#include "counting/common.hpp"
+#include "counting/local/attacks.hpp"
+#include "counting/local/protocol.hpp"
+#include "graph/graph.hpp"
+#include "sim/byzantine.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+class ThreadPool;
+
+// --- workload description ---------------------------------------------------
+
+enum class GraphKind {
+  Hnd,                 ///< H(n,d) permutation model (union of d/2 cycles)
+  ConfigurationModel,  ///< d-regular configuration model
+  WattsStrogatz,       ///< ring lattice with rewiring
+  Ring,
+  BinaryTree,
+  Complete,
+};
+
+struct GraphSpec {
+  GraphKind kind = GraphKind::Hnd;
+  NodeId n = 256;
+  NodeId degree = 8;               ///< d (Hnd/ConfigurationModel), k (WattsStrogatz)
+  double rewireProbability = 0.1;  ///< WattsStrogatz only
+};
+
+/// Materialises the graph for one trial from the trial's own stream.
+[[nodiscard]] Graph buildGraph(const GraphSpec& spec, Rng& rng);
+
+enum class ProtocolKind { Beacon, Local, GeometricMax, SupportEstimation, SpanningTree };
+
+/// Graph × placement × attack × params × trial plan. Only the fields of the
+/// selected protocol are read.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  GraphSpec graph;
+  PlacementSpec placement;  ///< placement.count is used as-is when byzGamma == 0
+  double byzGamma = 0.0;    ///< when > 0, count = byzantineBudget(n, byzGamma)
+
+  ProtocolKind protocol = ProtocolKind::Beacon;
+  BeaconAttackProfile beaconAttack = BeaconAttackProfile::none();
+  BeaconParams beaconParams;
+  BeaconLimits beaconLimits;
+  LocalParams localParams;
+  /// Fresh adversary per trial (factories must be callable concurrently);
+  /// nullptr = honest control.
+  std::function<std::unique_ptr<LocalAdversary>()> localAdversary;
+  GeometricAttack geometricAttack = GeometricAttack::None;
+  GeometricParams geometricParams;
+  SupportAttack supportAttack = SupportAttack::None;
+  SupportParams supportParams;
+  TreeAttack treeAttack = TreeAttack::None;
+  TreeParams treeParams;
+
+  QualityWindow window{0.3, 1.8};
+  std::uint32_t trials = 32;
+  std::uint64_t masterSeed = 1;
+};
+
+// --- per-trial and aggregate results ----------------------------------------
+
+/// The deterministic inputs of one trial, derived from (masterSeed, index).
+struct MaterializedTrial {
+  Graph graph;
+  ByzantineSet byz;
+  Rng runRng;  ///< the protocol's stream for this trial
+};
+
+/// Builds trial `index` of `spec`: graph, placement and protocol RNG all come
+/// from forks of Rng(spec.masterSeed).fork(index). Exposed so custom trial
+/// functions can reuse the exact derivation the declarative path uses.
+[[nodiscard]] MaterializedTrial materializeTrial(const ScenarioSpec& spec, std::uint32_t index);
+
+struct TrialOutcome {
+  QualitySummary quality;
+  Round totalRounds = 0;
+  bool hitRoundCap = false;
+  std::uint64_t totalMessages = 0;
+  std::uint64_t totalBits = 0;
+  std::uint64_t resultFingerprint = 0;  ///< fingerprint() of the CountingResult
+  std::vector<double> extra;            ///< caller-defined metrics, aggregated by slot
+};
+
+/// Distribution of one metric over the R trials.
+struct Distribution {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+
+  [[nodiscard]] static Distribution of(std::vector<double> sample);
+};
+
+struct ExperimentSummary {
+  std::string name;
+  std::uint32_t trials = 0;
+  std::size_t cappedTrials = 0;  ///< trials stopped by the round cap
+
+  Distribution fracDecided;
+  Distribution fracWithinWindow;
+  Distribution meanRatio;
+  Distribution totalRounds;
+  Distribution totalMessages;
+  Distribution totalBits;
+  std::vector<Distribution> extras;  ///< one per TrialOutcome::extra slot
+
+  /// Order-sensitive hash over all per-trial fingerprints: equal across runs
+  /// iff every trial produced identical results in identical trial order —
+  /// the witness the thread-count-invariance tests compare.
+  std::uint64_t combinedFingerprint = 0;
+
+  std::vector<TrialOutcome> perTrial;  ///< indexed by trial
+};
+
+// --- the runner -------------------------------------------------------------
+
+class ExperimentRunner {
+ public:
+  /// threads == 0 picks the hardware concurrency.
+  explicit ExperimentRunner(unsigned threads = 0);
+  ~ExperimentRunner();
+
+  [[nodiscard]] unsigned threadCount() const noexcept;
+
+  /// Runs one declarative trial; pure function of (spec, index).
+  [[nodiscard]] static TrialOutcome runTrial(const ScenarioSpec& spec, std::uint32_t index);
+
+  /// Fans spec.trials declarative trials out over the pool.
+  [[nodiscard]] ExperimentSummary run(const ScenarioSpec& spec);
+
+  /// Custom path: fn(index) must be thread-safe and a pure function of the
+  /// index (use materializeTrial / Rng(masterSeed).fork(index) inside).
+  using TrialFn = std::function<TrialOutcome(std::uint32_t index)>;
+  [[nodiscard]] ExperimentSummary runCustom(const std::string& name, std::uint32_t trials,
+                                            const TrialFn& fn);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace bzc

@@ -1,0 +1,46 @@
+#include "runtime/fingerprint.hpp"
+
+#include <cstring>
+
+namespace bzc {
+
+std::uint64_t fnv1a64(const void* data, std::size_t len, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t word) noexcept {
+  return fnv1a64(&word, sizeof word, h);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const CountingResult& result, NodeId n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (NodeId u = 0; u < n; ++u) {
+    const DecisionRecord& d = result.decisions[u];
+    h = mix(h, d.decided ? 1 : 0);
+    h = mix(h, d.round);
+    std::uint64_t estimateBits = 0;
+    static_assert(sizeof estimateBits == sizeof d.estimate);
+    std::memcpy(&estimateBits, &d.estimate, sizeof estimateBits);
+    h = mix(h, estimateBits);
+    h = mix(h, result.meter.maxMessageBits(u));
+    h = mix(h, result.meter.bitsSent(u));
+    h = mix(h, result.meter.messagesSent(u));
+  }
+  h = mix(h, result.totalRounds);
+  h = mix(h, result.hitRoundCap ? 1 : 0);
+  h = mix(h, result.meter.totalMessages());
+  h = mix(h, result.meter.totalBits());
+  return h;
+}
+
+}  // namespace bzc

@@ -1,0 +1,23 @@
+// Order-sensitive fingerprint of a protocol run's observable outcome.
+//
+// Used by the migration regression tests: the SyncEngine port of each
+// protocol must reproduce the pre-refactor decisions, round counts and
+// message accounting bit-for-bit on fixed seeds, and a single 64-bit hash of
+// all of it is the cheapest thing to compare (and to hard-code as a golden).
+#pragma once
+
+#include <cstdint>
+
+#include "counting/common.hpp"
+
+namespace bzc {
+
+/// FNV-1a over raw bytes.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                    std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept;
+
+/// Hash of every per-node decision (decided, round, estimate bits), the run
+/// totals, and the per-node MessageMeter accounting for nodes [0, n).
+[[nodiscard]] std::uint64_t fingerprint(const CountingResult& result, NodeId n);
+
+}  // namespace bzc

@@ -1,0 +1,201 @@
+// SyncEngine: the shared synchronous-round message-passing runtime.
+//
+// Every protocol in the repo (beacon counting, LOCAL counting, the three
+// baselines) used to hand-roll the same plumbing: a round counter, per-node
+// inbox/outbox double-buffering, quiescence detection, a safety round cap and
+// MessageMeter accounting. SyncEngine owns all of it; protocols are expressed
+// as policies — an `emit` hook queueing sends at the top of a round, a `recv`
+// hook invoked for each touched receiver, and an `end` hook for global per-round
+// work (decisions, expansion checks). See DESIGN.md §1.
+//
+// Determinism contract (relied on by the golden regression tests):
+//  - sends flush in the exact order they were queued; a receiver's inbox is
+//    therefore ordered by sender-queue position, then by the sender's
+//    adjacency order (one delivery per incident edge for broadcasts);
+//  - `recv` fires in first-delivery order (the order inboxes first became
+//    nonempty this round), which matches the classic `touched` lists of the
+//    pre-refactor loops;
+//  - the meter records honest senders only, at flush time, with
+//    recordBroadcast(from, bits, degree) for broadcasts and
+//    record(from, bits) for unicasts.
+//
+// A "window" is a bounded run of rounds (phase structures like Algorithm 2's
+// beacon/continue windows map onto it); `rounds == 0` means run until
+// quiescence or the engine-wide cap. Protocols that charge wall-clock for a
+// full window even when traffic dies early (Algorithm 2 does) top the counter
+// up with skipRounds().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/byzantine.hpp"
+#include "sim/metrics.hpp"
+#include "support/require.hpp"
+#include "support/types.hpp"
+
+namespace bzc {
+
+enum class WindowStatus {
+  Completed,  ///< all requested rounds ran
+  Quiesced,   ///< a round moved no messages (that empty round is counted)
+  Stopped,    ///< the end-of-round hook returned false
+  Capped,     ///< the engine-wide round cap was reached
+};
+
+struct WindowResult {
+  WindowStatus status = WindowStatus::Completed;
+  std::uint32_t roundsRun = 0;  ///< rounds counted by this window (incl. a quiescent one)
+};
+
+/// What a window does with a round that moved no messages. Flood-style
+/// protocols stop (nothing can ever change again); schedule-driven ones
+/// (e.g. a converge-cast whose emit hook activates one layer per round) keep
+/// going because later rounds produce traffic regardless of earlier ones.
+enum class IdlePolicy {
+  StopWhenIdle,
+  RunFullWindow,
+};
+
+/// No-op policy hooks for the runWindow slots a protocol does not use.
+struct NoEmit {
+  void operator()(Round) const noexcept {}
+};
+struct NoEnd {
+  bool operator()(Round) const noexcept { return true; }
+};
+
+template <typename Message>
+class SyncEngine {
+ public:
+  struct Delivery {
+    NodeId sender = kNoNode;
+    Message payload{};
+  };
+  struct NoRecv {
+    void operator()(NodeId, Round, std::span<const Delivery>) const noexcept {}
+  };
+
+  /// maxTotalRounds == 0 disables the engine-wide cap.
+  SyncEngine(const Graph& g, const ByzantineSet& byz, std::uint64_t maxTotalRounds = 0)
+      : graph_(g),
+        byz_(byz),
+        maxTotalRounds_(maxTotalRounds == 0 ? ~0ULL : maxTotalRounds),
+        meter_(g.numNodes()),
+        inbox_(g.numNodes()) {
+    BZC_REQUIRE(byz.numNodes() == g.numNodes(), "byzantine set size mismatch");
+  }
+
+  // --- accounting -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] MessageMeter& meter() noexcept { return meter_; }
+  [[nodiscard]] MessageMeter releaseMeter() noexcept { return std::move(meter_); }
+
+  /// True when running `k` more rounds would overrun the engine-wide cap.
+  [[nodiscard]] bool wouldExceed(std::uint64_t k) const noexcept {
+    return round_ + k > maxTotalRounds_;
+  }
+
+  /// Advances the round counter without simulating traffic (used to charge a
+  /// protocol-defined window in full when flooding quiesced early).
+  void skipRounds(std::uint64_t k) noexcept { round_ += k; }
+
+  // --- sending (valid from emit/recv/end hooks, or before a window to seed
+  // --- its first round) -----------------------------------------------------
+  void broadcast(NodeId from, Message payload, std::size_t bits) {
+    sendQueue_.push_back({from, kNoNode, std::move(payload), bits});
+  }
+  void unicast(NodeId from, NodeId to, Message payload, std::size_t bits) {
+    sendQueue_.push_back({from, to, std::move(payload), bits});
+  }
+  void clearPending() noexcept { sendQueue_.clear(); }
+  [[nodiscard]] bool hasPending() const noexcept { return !sendQueue_.empty(); }
+
+  /// Inbox of node v for the current round (valid inside recv/end hooks).
+  [[nodiscard]] std::span<const Delivery> inboxOf(NodeId v) const { return inbox_[v]; }
+
+  // --- the round loop -------------------------------------------------------
+  // Per round: cap check; advance the counter; emit(w); flush queued sends
+  // into inboxes (metering honest senders); stop as Quiesced when nothing
+  // moved; recv(v, w, inbox) for each touched v in first-delivery order;
+  // end(w) — return false to stop; clear inboxes.
+  template <typename EmitFn, typename RecvFn, typename EndFn>
+  WindowResult runWindow(std::uint32_t rounds, EmitFn&& emit, RecvFn&& recv, EndFn&& end,
+                         IdlePolicy idle = IdlePolicy::StopWhenIdle) {
+    WindowResult res;
+    for (std::uint32_t w = 1; rounds == 0 || w <= rounds; ++w) {
+      if (round_ >= maxTotalRounds_) {
+        res.status = WindowStatus::Capped;
+        return res;
+      }
+      ++round_;
+      ++res.roundsRun;
+      emit(static_cast<Round>(w));
+      flushing_.clear();
+      flushing_.swap(sendQueue_);  // sends queued from hooks target the next round
+      for (const PendingSend& p : flushing_) deliver(p);
+      if (flushing_.empty() && idle == IdlePolicy::StopWhenIdle) {
+        res.status = WindowStatus::Quiesced;
+        return res;
+      }
+      for (NodeId v : touched_) {
+        recv(v, static_cast<Round>(w), std::span<const Delivery>(inbox_[v]));
+      }
+      const bool keep = end(static_cast<Round>(w));
+      for (NodeId v : touched_) inbox_[v].clear();
+      touched_.clear();
+      if (!keep) {
+        res.status = WindowStatus::Stopped;
+        return res;
+      }
+    }
+    res.status = WindowStatus::Completed;
+    return res;
+  }
+
+  /// Flood-style window: traffic seeded before the call, forwarded from recv.
+  template <typename RecvFn>
+  WindowResult runWindow(std::uint32_t rounds, RecvFn&& recv) {
+    return runWindow(rounds, NoEmit{}, std::forward<RecvFn>(recv), NoEnd{});
+  }
+
+ private:
+  struct PendingSend {
+    NodeId from;
+    NodeId to;  ///< kNoNode = broadcast to all neighbors
+    Message payload;
+    std::size_t bits;
+  };
+
+  void deliver(const PendingSend& p) {
+    if (p.to == kNoNode) {
+      if (!byz_.contains(p.from)) {
+        meter_.recordBroadcast(p.from, p.bits, graph_.degree(p.from));
+      }
+      for (NodeId v : graph_.neighbors(p.from)) push(v, p);
+    } else {
+      if (!byz_.contains(p.from)) meter_.record(p.from, p.bits);
+      push(p.to, p);
+    }
+  }
+
+  void push(NodeId v, const PendingSend& p) {
+    if (inbox_[v].empty()) touched_.push_back(v);
+    inbox_[v].push_back({p.from, p.payload});
+  }
+
+  const Graph& graph_;
+  const ByzantineSet& byz_;
+  std::uint64_t maxTotalRounds_;
+  std::uint64_t round_ = 0;
+  MessageMeter meter_;
+
+  std::vector<PendingSend> sendQueue_;
+  std::vector<PendingSend> flushing_;
+  std::vector<std::vector<Delivery>> inbox_;
+  std::vector<NodeId> touched_;
+};
+
+}  // namespace bzc

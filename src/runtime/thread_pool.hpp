@@ -1,0 +1,57 @@
+// Fixed-size worker pool for embarrassingly parallel index loops.
+//
+// Scheduling is dynamic (an atomic cursor hands out indices), so thread count
+// and OS timing decide *who* runs an index but never *what* the index
+// computes: determinism is the caller's job and comes from each index being a
+// pure function of its input (the ExperimentRunner derives a forked RNG
+// stream per trial index for exactly this reason).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bzc {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks the hardware concurrency (at least 1). One worker
+  /// means no extra threads at all: parallelFor runs inline on the caller.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned threadCount() const noexcept { return threads_; }
+
+  /// Runs body(0) .. body(count-1) across the pool (the calling thread
+  /// participates). Blocks until all indices finished; the first exception
+  /// thrown by any body is rethrown here after the loop drains.
+  void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void workerLoop();
+  void drain();
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t jobCount_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t activeWorkers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace bzc

@@ -50,6 +50,43 @@ TEST(Graph, MultiEdgesKeptAndSimplified) {
   EXPECT_EQ(s.multiEdgeCount(), 0u);
 }
 
+// Parallel-edge coverage for hasEdge/edgeMultiplicity: the H(n,d)
+// permutation model produces multigraphs, where the sought neighbour
+// occupies a run of equal adjacency entries rather than a single slot.
+TEST(Graph, HasEdgeWithParallelEdges) {
+  const Graph g(4, {{0, 1}, {0, 1}, {0, 1}, {0, 3}, {2, 3}});
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_TRUE(g.hasEdge(0, 3));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_FALSE(g.hasEdge(1, 2));
+  EXPECT_FALSE(g.hasEdge(2, 0));
+  // First/last neighbour positions (lower_bound edge cases).
+  EXPECT_TRUE(g.hasEdge(3, 0));
+  EXPECT_TRUE(g.hasEdge(3, 2));
+  EXPECT_FALSE(g.hasEdge(3, 1));
+
+  EXPECT_EQ(g.edgeMultiplicity(0, 1), 3u);
+  EXPECT_EQ(g.edgeMultiplicity(1, 0), 3u);
+  EXPECT_EQ(g.edgeMultiplicity(0, 3), 1u);
+  EXPECT_EQ(g.edgeMultiplicity(0, 2), 0u);
+  EXPECT_EQ(g.edgeMultiplicity(2, 3), 1u);
+}
+
+TEST(Graph, HasEdgeMatchesLinearScanOnMultigraph) {
+  Rng rng(99);
+  const Graph g = hnd(64, 6, rng);  // H(n,d) can produce parallel edges
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      const auto nbrs = g.neighbors(u);
+      std::size_t linear = 0;
+      for (NodeId w : nbrs) linear += w == v ? 1 : 0;
+      EXPECT_EQ(g.hasEdge(u, v), linear > 0) << u << "-" << v;
+      EXPECT_EQ(g.edgeMultiplicity(u, v), linear) << u << "-" << v;
+    }
+  }
+}
+
 TEST(Graph, EdgeListRoundTrip) {
   const Graph g(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
   const auto edges = g.edgeList();

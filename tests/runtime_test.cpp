@@ -1,0 +1,345 @@
+// Tests for the runtime layer: SyncEngine round/window semantics, the thread
+// pool, ExperimentRunner determinism, and the golden fingerprints pinning the
+// SyncEngine migration to the pre-refactor protocol behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "counting/local/attacks.hpp"
+#include "golden_scenarios.hpp"
+#include "graph/generators.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/sync_engine.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bzc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden migration regressions. The constants were captured from the seed
+// implementations (hand-rolled round loops) immediately before the SyncEngine
+// migration; the migrated protocols must reproduce them bit-for-bit.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenMigration, BeaconMatchesPreRefactorDecisions) {
+  EXPECT_EQ(golden::beaconFingerprint(BeaconChoicePolicy::PreferAcceptable,
+                                      BeaconAttackProfile::none(), 0),
+            0x01ad738b6673bf86ULL);
+  EXPECT_EQ(golden::beaconFingerprint(BeaconChoicePolicy::PreferAcceptable,
+                                      BeaconAttackProfile::flooder(), 10),
+            0x29553b28fa4d5ddcULL);
+  // FirstSeen resolves ties by inbox position, so this one pins the engine's
+  // delivery-order contract, not just the protocol logic.
+  EXPECT_EQ(
+      golden::beaconFingerprint(BeaconChoicePolicy::FirstSeen, BeaconAttackProfile::flooder(), 10),
+      0xf3b6aab96a9aed6cULL);
+  EXPECT_EQ(golden::beaconFingerprint(BeaconChoicePolicy::PreferAcceptable,
+                                      BeaconAttackProfile::full(), 10),
+            0xe7cb8414934dcdefULL);
+}
+
+TEST(GoldenMigration, LocalMatchesPreRefactorDecisions) {
+  {
+    auto adv = makeHonestLocalAdversary();
+    EXPECT_EQ(golden::localFingerprint(*adv, Placement::Random), 0xbc818467520a5f14ULL);
+  }
+  {
+    auto adv = makeConflictLocalAdversary();
+    EXPECT_EQ(golden::localFingerprint(*adv, Placement::Random), 0xbd69b4b31ee42fceULL);
+  }
+  {
+    auto adv = makeSilentLocalAdversary(1);
+    EXPECT_EQ(golden::localFingerprint(*adv, Placement::Random), 0xa54443d8baa6aa5dULL);
+  }
+  {
+    auto adv = makeFakeWorldLocalAdversary({});
+    EXPECT_EQ(golden::localFingerprint(*adv, Placement::Surround), 0x6babc33f76dd3e65ULL);
+  }
+}
+
+TEST(GoldenMigration, BaselinesMatchPreRefactorDecisions) {
+  EXPECT_EQ(golden::geometricFingerprint(GeometricAttack::None), 0x927421feaa922dafULL);
+  EXPECT_EQ(golden::geometricFingerprint(GeometricAttack::Inflate), 0x444da3032ea949b1ULL);
+  EXPECT_EQ(golden::geometricFingerprint(GeometricAttack::Suppress), 0x74833fdbe117d7e1ULL);
+  EXPECT_EQ(golden::supportFingerprint(SupportAttack::None), 0x8ae1332c4d96dcddULL);
+  EXPECT_EQ(golden::supportFingerprint(SupportAttack::ZeroInject), 0x2e1a59de3c23bba2ULL);
+  EXPECT_EQ(golden::supportFingerprint(SupportAttack::Suppress), 0x1eca799754ed6997ULL);
+  EXPECT_EQ(golden::treeFingerprint(TreeAttack::None), 0xac3667db1751962fULL);
+  EXPECT_EQ(golden::treeFingerprint(TreeAttack::Inflate), 0x2568f372c9e0136fULL);
+  EXPECT_EQ(golden::treeFingerprint(TreeAttack::Mute), 0x571d62a92e69b3c7ULL);
+}
+
+// ---------------------------------------------------------------------------
+// SyncEngine semantics.
+// ---------------------------------------------------------------------------
+
+using IntEngine = SyncEngine<int>;
+
+TEST(SyncEngine, InboxPreservesQueueOrderAndRecvFiresInFirstDeliveryOrder) {
+  // Star: center 0 with leaves 1..3.
+  const Graph g = star(4);
+  const ByzantineSet byz(4, {});
+  IntEngine engine(g, byz);
+  engine.broadcast(2, 20, 8);
+  engine.broadcast(3, 30, 8);
+  engine.broadcast(1, 10, 8);
+
+  std::vector<NodeId> recvOrder;
+  std::vector<int> centerInbox;
+  auto res = engine.runWindow(1, [&](NodeId v, Round, std::span<const IntEngine::Delivery> box) {
+    recvOrder.push_back(v);
+    if (v == 0) {
+      for (const auto& d : box) centerInbox.push_back(d.payload);
+    }
+  });
+  EXPECT_EQ(res.status, WindowStatus::Completed);
+  // Each leaf's only neighbour is the center, so exactly one node is touched,
+  // and its inbox lists the senders in queue order, not index order.
+  EXPECT_EQ(recvOrder, (std::vector<NodeId>{0}));
+  EXPECT_EQ(centerInbox, (std::vector<int>{20, 30, 10}));
+}
+
+TEST(SyncEngine, QuiescentEmptyRoundIsCountedAndStops) {
+  const Graph g = ring(4);
+  const ByzantineSet byz(4, {});
+  IntEngine engine(g, byz);
+  const auto res = engine.runWindow(5, IntEngine::NoRecv{});
+  EXPECT_EQ(res.status, WindowStatus::Quiesced);
+  EXPECT_EQ(res.roundsRun, 1u);
+  EXPECT_EQ(engine.round(), 1u);
+}
+
+TEST(SyncEngine, RunFullWindowKeepsGoingThroughIdleRounds) {
+  const Graph g = ring(4);
+  const ByzantineSet byz(4, {});
+  IntEngine engine(g, byz);
+  std::vector<Round> deliveries;
+  auto emit = [&](Round w) {
+    if (w == 3) engine.broadcast(0, 7, 8);  // traffic only in the last round
+  };
+  auto recv = [&](NodeId, Round w, std::span<const IntEngine::Delivery>) {
+    deliveries.push_back(w);
+  };
+  const auto res = engine.runWindow(3, emit, recv, NoEnd{}, IdlePolicy::RunFullWindow);
+  EXPECT_EQ(res.status, WindowStatus::Completed);
+  EXPECT_EQ(res.roundsRun, 3u);
+  EXPECT_EQ(deliveries, (std::vector<Round>{3, 3}));  // both ring neighbours of 0
+}
+
+TEST(SyncEngine, RoundCapStopsEndlessFlood) {
+  const Graph g = ring(6);
+  const ByzantineSet byz(6, {});
+  IntEngine engine(g, byz, /*maxTotalRounds=*/4);
+  engine.broadcast(0, 1, 8);
+  auto echo = [&](NodeId v, Round, std::span<const IntEngine::Delivery>) {
+    engine.broadcast(v, 1, 8);  // every receiver re-floods forever
+  };
+  const auto res = engine.runWindow(0, echo);
+  EXPECT_EQ(res.status, WindowStatus::Capped);
+  EXPECT_EQ(engine.round(), 4u);
+  EXPECT_TRUE(engine.wouldExceed(1));
+}
+
+TEST(SyncEngine, EndHookStopsTheWindow) {
+  const Graph g = ring(4);
+  const ByzantineSet byz(4, {});
+  IntEngine engine(g, byz);
+  engine.broadcast(0, 1, 8);
+  auto echo = [&](NodeId v, Round, std::span<const IntEngine::Delivery>) {
+    engine.broadcast(v, 1, 8);
+  };
+  auto stopAfterTwo = [&](Round) { return engine.round() < 2; };
+  const auto res = engine.runWindow(0, NoEmit{}, echo, stopAfterTwo);
+  EXPECT_EQ(res.status, WindowStatus::Stopped);
+  EXPECT_EQ(engine.round(), 2u);
+}
+
+TEST(SyncEngine, MetersHonestSendersOnly) {
+  const Graph g = ring(4);  // every node has degree 2
+  const ByzantineSet byz(4, {1});
+  IntEngine engine(g, byz);
+  engine.broadcast(0, 5, 32);  // honest broadcast: 2 copies of 32 bits
+  engine.broadcast(1, 6, 32);  // Byzantine: delivered but never metered
+  engine.unicast(2, 3, 7, 16);  // honest unicast: one copy
+  std::size_t delivered = 0;
+  auto res = engine.runWindow(1, [&](NodeId, Round, std::span<const IntEngine::Delivery> box) {
+    delivered += box.size();
+  });
+  EXPECT_EQ(res.status, WindowStatus::Completed);
+  EXPECT_EQ(delivered, 5u);  // 2 + 2 broadcast copies + 1 unicast
+  MessageMeter meter = engine.releaseMeter();
+  EXPECT_EQ(meter.messagesSent(0), 2u);
+  EXPECT_EQ(meter.bitsSent(0), 64u);
+  EXPECT_EQ(meter.maxMessageBits(0), 32u);
+  EXPECT_EQ(meter.messagesSent(1), 0u);  // Byzantine traffic invisible to the meter
+  EXPECT_EQ(meter.messagesSent(2), 1u);
+  EXPECT_EQ(meter.bitsSent(2), 16u);
+  EXPECT_EQ(meter.totalMessages(), 3u);
+}
+
+TEST(SyncEngine, SkipRoundsChargesWallClockWithoutTraffic) {
+  const Graph g = ring(4);
+  const ByzantineSet byz(4, {});
+  IntEngine engine(g, byz, 10);
+  engine.skipRounds(7);
+  EXPECT_EQ(engine.round(), 7u);
+  EXPECT_FALSE(engine.wouldExceed(3));
+  EXPECT_TRUE(engine.wouldExceed(4));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallelFor(16,
+                                [&](std::size_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> ran{0};
+  pool.parallelFor(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentRunner determinism: the acceptance criterion. Same ScenarioSpec +
+// master seed must give identical per-trial CountingResults (witnessed by
+// fingerprints) at 1, 2 and 8 threads, with >= 32 trials in parallel.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec cheapScenario() {
+  ScenarioSpec spec;
+  spec.name = "geometric-inflate-hnd";
+  spec.graph = {GraphKind::Hnd, 256, 8, 0.1};
+  spec.placement.kind = Placement::Random;
+  spec.byzGamma = 0.55;
+  spec.protocol = ProtocolKind::GeometricMax;
+  spec.geometricAttack = GeometricAttack::Inflate;
+  spec.trials = 48;
+  spec.masterSeed = 0xfeed;
+  return spec;
+}
+
+TEST(ExperimentRunner, ThreadCountInvariantAndSeedDeterministic) {
+  const ScenarioSpec spec = cheapScenario();
+  ExperimentSummary byThreads[3];
+  const unsigned counts[3] = {1, 2, 8};
+  for (int t = 0; t < 3; ++t) {
+    ExperimentRunner runner(counts[t]);
+    EXPECT_EQ(runner.threadCount(), counts[t]);
+    byThreads[t] = runner.run(spec);
+  }
+  ASSERT_EQ(byThreads[0].perTrial.size(), 48u);
+  for (int t = 1; t < 3; ++t) {
+    EXPECT_EQ(byThreads[0].combinedFingerprint, byThreads[t].combinedFingerprint);
+    ASSERT_EQ(byThreads[t].perTrial.size(), 48u);
+    for (std::size_t i = 0; i < 48; ++i) {
+      EXPECT_EQ(byThreads[0].perTrial[i].resultFingerprint,
+                byThreads[t].perTrial[i].resultFingerprint)
+          << "trial " << i << " diverged at " << counts[t] << " threads";
+    }
+    EXPECT_DOUBLE_EQ(byThreads[0].fracDecided.mean, byThreads[t].fracDecided.mean);
+    EXPECT_DOUBLE_EQ(byThreads[0].totalRounds.p90, byThreads[t].totalRounds.p90);
+  }
+  // Re-running with the same master seed reproduces; a different seed must not.
+  ExperimentRunner runner(8);
+  EXPECT_EQ(runner.run(spec).combinedFingerprint, byThreads[0].combinedFingerprint);
+  ScenarioSpec reseeded = spec;
+  reseeded.masterSeed = 0xbeef;
+  EXPECT_NE(runner.run(reseeded).combinedFingerprint, byThreads[0].combinedFingerprint);
+}
+
+TEST(ExperimentRunner, BeaconScenarioParallelTrialsAggregates) {
+  ScenarioSpec spec;
+  spec.name = "beacon-flooder";
+  spec.graph = {GraphKind::Hnd, 128, 8, 0.1};
+  spec.placement.kind = Placement::Random;
+  spec.byzGamma = 0.55;
+  spec.protocol = ProtocolKind::Beacon;
+  spec.beaconAttack = BeaconAttackProfile::flooder();
+  spec.beaconLimits.maxPhase = 8;
+  spec.beaconLimits.maxTotalRounds = 20'000;
+  spec.trials = 32;
+  spec.masterSeed = 7;
+
+  ExperimentRunner runner(8);
+  const ExperimentSummary summary = runner.run(spec);
+  ASSERT_EQ(summary.perTrial.size(), 32u);
+  EXPECT_GT(summary.fracDecided.mean, 0.5);  // flooders hit small n hard; T2 covers quality
+  EXPECT_GT(summary.meanRatio.mean, 0.0);
+  EXPECT_GE(summary.totalRounds.min, 1.0);
+  EXPECT_LE(summary.fracDecided.min, summary.fracDecided.p50);
+  EXPECT_LE(summary.fracDecided.p50, summary.fracDecided.max);
+
+  ExperimentRunner serial(1);
+  EXPECT_EQ(serial.run(spec).combinedFingerprint, summary.combinedFingerprint);
+}
+
+TEST(ExperimentRunner, MaterializeTrialIsAPureFunctionOfSpecAndIndex) {
+  const ScenarioSpec spec = cheapScenario();
+  for (std::uint32_t i : {0u, 1u, 17u}) {
+    MaterializedTrial a = materializeTrial(spec, i);
+    MaterializedTrial b = materializeTrial(spec, i);
+    EXPECT_EQ(a.graph.edgeList(), b.graph.edgeList());
+    EXPECT_EQ(a.byz.members(), b.byz.members());
+    EXPECT_EQ(a.runRng.next(), b.runRng.next());
+  }
+  // Different trials see different placements/graph streams.
+  MaterializedTrial t0 = materializeTrial(spec, 0);
+  MaterializedTrial t1 = materializeTrial(spec, 1);
+  EXPECT_NE(t0.byz.members(), t1.byz.members());
+}
+
+TEST(ExperimentRunner, CustomTrialsAggregateExtraMetrics) {
+  ExperimentRunner runner(4);
+  const ExperimentSummary summary =
+      runner.runCustom("extras", 10, [](std::uint32_t index) {
+        TrialOutcome t;
+        t.quality.fracDecided = 1.0;
+        t.totalRounds = index + 1;
+        t.resultFingerprint = index;
+        t.extra = {static_cast<double>(index), 2.0};
+        return t;
+      });
+  ASSERT_EQ(summary.extras.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary.extras[0].mean, 4.5);
+  EXPECT_DOUBLE_EQ(summary.extras[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(summary.extras[0].max, 9.0);
+  EXPECT_DOUBLE_EQ(summary.extras[1].mean, 2.0);
+  EXPECT_DOUBLE_EQ(summary.totalRounds.mean, 5.5);
+}
+
+TEST(Distribution, QuantilesOnKnownSample) {
+  const Distribution d = Distribution::of({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.mean, 3.0);
+  EXPECT_DOUBLE_EQ(d.min, 1.0);
+  EXPECT_DOUBLE_EQ(d.max, 5.0);
+  EXPECT_DOUBLE_EQ(d.p50, 3.0);
+}
+
+}  // namespace
+}  // namespace bzc
