@@ -7,7 +7,9 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "counting/common.hpp"
@@ -37,6 +39,101 @@ inline unsigned threadCount() {
     if (v > 0) return static_cast<unsigned>(v);
   }
   return 0;  // hardware concurrency
+}
+
+/// Master seed for table row `row` of bench `benchTag`. Seeds derive from the
+/// row *index*, never from row parameters: parameter-derived seeds collide
+/// when two rows share a parameter value (T7's old `Rng(900 + L*10)` gave the
+/// oracle and pipeline rows overlapping streams).
+inline std::uint64_t rowSeed(std::uint64_t benchTag, std::uint64_t row) {
+  return Rng(0x5eed0000ULL ^ benchTag).fork(row).next();
+}
+
+// --- machine-readable results (BZC_OUTPUT=json) -----------------------------
+
+inline bool jsonOutputEnabled() {
+  const char* env = std::getenv("BZC_OUTPUT");
+  return env != nullptr && std::string(env) == "json";
+}
+
+inline void appendJsonDist(std::ostringstream& os, const char* key, const Distribution& d) {
+  os << '"' << key << "\":{\"mean\":" << d.mean << ",\"min\":" << d.min << ",\"max\":" << d.max
+     << ",\"p10\":" << d.p10 << ",\"p50\":" << d.p50 << ",\"p90\":" << d.p90 << '}';
+}
+
+/// One ExperimentSummary as a single JSON line, written to stdout (or
+/// appended to $BZC_JSON_FILE when set) so perf trajectories (BENCH_*.json)
+/// can be tracked across PRs. No-op unless BZC_OUTPUT=json.
+inline void maybeEmitJson(const ExperimentSummary& s) {
+  if (!jsonOutputEnabled()) return;
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"name\":\"" << s.name << "\",\"trials\":" << s.trials
+     << ",\"cappedTrials\":" << s.cappedTrials << ",\"combinedFingerprint\":\"0x" << std::hex
+     << s.combinedFingerprint << std::dec << "\",";
+  appendJsonDist(os, "fracDecided", s.fracDecided);
+  os << ',';
+  appendJsonDist(os, "fracWithinWindow", s.fracWithinWindow);
+  os << ',';
+  appendJsonDist(os, "meanRatio", s.meanRatio);
+  os << ',';
+  appendJsonDist(os, "totalRounds", s.totalRounds);
+  os << ',';
+  appendJsonDist(os, "totalMessages", s.totalMessages);
+  os << ',';
+  appendJsonDist(os, "totalBits", s.totalBits);
+  os << ",\"extras\":[";
+  for (std::size_t i = 0; i < s.extras.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"mean\":" << s.extras[i].mean << ",\"min\":" << s.extras[i].min
+       << ",\"max\":" << s.extras[i].max << ",\"p50\":" << s.extras[i].p50 << '}';
+  }
+  os << "]}";
+  if (const char* path = std::getenv("BZC_JSON_FILE")) {
+    std::ofstream f(path, std::ios::app);
+    f << os.str() << '\n';
+  } else {
+    std::cout << os.str() << '\n';
+  }
+}
+
+/// Declarative row: run spec on the runner and emit the JSON line.
+inline ExperimentSummary runScenario(ExperimentRunner& runner, const ScenarioSpec& spec) {
+  ExperimentSummary s = runner.run(spec);
+  maybeEmitJson(s);
+  return s;
+}
+
+/// Custom row: runCustom plus the JSON line.
+inline ExperimentSummary runScenario(ExperimentRunner& runner, const std::string& name,
+                                     std::uint32_t trials, const ExperimentRunner::TrialFn& fn) {
+  ExperimentSummary s = runner.runCustom(name, trials, fn);
+  maybeEmitJson(s);
+  return s;
+}
+
+/// Fraction of an Agreement/Pipeline summary's trials that reached
+/// almost-everywhere agreement (>= 90% of honest nodes on the majority bit).
+inline double aeTrialFraction(const ExperimentSummary& s) {
+  std::size_t ae = 0;
+  for (const TrialOutcome& t : s.perTrial) {
+    if (t.extra[kAgreementFracAgreeing] >= 0.9) ++ae;
+  }
+  return s.perTrial.empty() ? 0.0 : static_cast<double>(ae) / static_cast<double>(s.perTrial.size());
+}
+
+/// Standard TrialOutcome wrapping of a counting run (custom trial functions
+/// append their extra slots afterwards).
+inline TrialOutcome countingTrialOutcome(const CountingResult& result, const ByzantineSet& byz,
+                                         NodeId n, const QualityWindow& window = {0.3, 1.8}) {
+  TrialOutcome t;
+  t.quality = evaluateQuality(result, byz, n, window);
+  t.totalRounds = result.totalRounds;
+  t.hitRoundCap = result.hitRoundCap;
+  t.totalMessages = result.meter.totalMessages();
+  t.totalBits = result.meter.totalBits();
+  t.resultFingerprint = fingerprint(result, n);
+  return t;
 }
 
 /// "mean [min,max]" cell for a per-trial distribution.

@@ -6,11 +6,21 @@
 // blacklists at least one Byzantine beacon forger, so the run length is
 // dominated by ~B iterations of O(log n) rounds each — O(B log² n) total.
 // The series sweeps B at n = 2048 under the beacon flooder.
+//
+// Each point aggregates R trials (fresh graph, placement and protocol
+// streams per trial) on the ExperimentRunner; the fit runs over per-point
+// means. BZC_TRIALS / BZC_THREADS override.
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "counting/beacon/protocol.hpp"
+
+namespace {
+
+enum : std::size_t { kP90Decide, kMeanEst, kExtraSlots };
+
+}  // namespace
 
 int main() {
   using namespace bzc;
@@ -20,7 +30,12 @@ int main() {
   experimentHeader(
       "F2 — Theorem 2 runtime: rounds vs number of Byzantine nodes (n = 2048, flooder)",
       "'within budget' marks whether B <= n^(1/2-ξ) (the theorem's tolerance). 'decide\n"
-      "rounds' is the round by which 90% of honest nodes decided.");
+      "rounds' is the round by which 90% of honest nodes decided. Cells aggregate R\n"
+      "trials.");
+
+  const std::uint32_t trials = trialCount(5);
+  ExperimentRunner runner(threadCount());
+  std::cout << "trials/row=" << trials << "  threads=" << runner.threadCount() << "\n\n";
 
   Table table({"B", "within budget", "decide rounds (p90)", "total rounds", "est mean",
                "frac decided"});
@@ -29,32 +44,47 @@ int main() {
 
   std::vector<double> bs;
   std::vector<double> decideRounds;
-  const Graph g = makeHnd(n, 8, 4);
+  std::uint64_t row = 0;
   for (std::size_t b : {0ull, 8ull, 16ull, 32ull, 45ull, 64ull, 96ull}) {
-    const auto byz = placeFor(g, b == 0 ? Placement::None : Placement::Random, b, 40 + b);
-    BeaconParams params;
-    BeaconLimits limits;
-    limits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 4;
-    limits.maxTotalRounds = 100'000;
-    Rng rng(500 + b);
-    const auto out = runBeaconCounting(g, byz, BeaconAttackProfile::flooder(), params, limits, rng);
-    const auto summary = summarize(out.result, byz, n);
+    ScenarioSpec spec;
+    spec.name = "f2-b" + std::to_string(b);
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = b == 0 ? Placement::None : Placement::Random;
+    spec.placement.count = b;
+    spec.beaconLimits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 4;
+    spec.beaconLimits.maxTotalRounds = 100'000;
+    spec.trials = trials;
+    spec.masterSeed = rowSeed(0xf2, row++);
 
-    // p90 of honest decision rounds.
-    std::vector<double> roundsVec;
-    for (NodeId u = 0; u < n; ++u) {
-      if (byz.contains(u) || !out.result.decisions[u].decided) continue;
-      roundsVec.push_back(out.result.decisions[u].round);
-    }
-    const double p90 = roundsVec.empty() ? 0.0 : quantile(roundsVec, 0.90);
+    const auto summary = runScenario(runner, spec.name, trials, [&](std::uint32_t index) {
+      MaterializedTrial trial = materializeTrial(spec, index);
+      BeaconParams params;
+      const auto out = runBeaconCounting(trial.graph, trial.byz, BeaconAttackProfile::flooder(),
+                                         params, spec.beaconLimits, trial.runRng);
+      const auto s = summarize(out.result, trial.byz, n);
+      // p90 of honest decision rounds.
+      std::vector<double> roundsVec;
+      for (NodeId u = 0; u < n; ++u) {
+        if (trial.byz.contains(u) || !out.result.decisions[u].decided) continue;
+        roundsVec.push_back(out.result.decisions[u].round);
+      }
+      TrialOutcome t = countingTrialOutcome(out.result, trial.byz, n);
+      t.extra.assign(kExtraSlots, 0.0);
+      t.extra[kP90Decide] = roundsVec.empty() ? 0.0 : quantile(roundsVec, 0.90);
+      t.extra[kMeanEst] = s.meanEst;
+      return t;
+    });
+
+    const double p90 = summary.extras[kP90Decide].mean;
     if (b > 0) {
       bs.push_back(static_cast<double>(b));
       decideRounds.push_back(p90);
     }
     table.addRow({Table::integer(static_cast<long long>(b)),
-                  passFail(static_cast<double>(b) <= budgetMax), Table::integer(static_cast<long long>(p90)),
-                  Table::integer(out.result.totalRounds), Table::num(summary.meanEst, 2),
-                  Table::percent(summary.fracDecided)});
+                  passFail(static_cast<double>(b) <= budgetMax),
+                  distCell(summary.extras[kP90Decide], 0), distCell(summary.totalRounds, 0),
+                  Table::num(summary.extras[kMeanEst].mean, 2),
+                  distPercentCell(summary.fracDecided)});
   }
   table.print(std::cout);
 

@@ -84,7 +84,7 @@ int main() {
       spec.trials = trials;
       spec.masterSeed = 10 * n + 7;
 
-      const auto summary = runner.runCustom(spec.name, trials, [&](std::uint32_t index) {
+      const auto summary = runScenario(runner, spec.name, trials, [&](std::uint32_t index) {
         MaterializedTrial trial = materializeTrial(spec, index);
         const std::uint32_t diam = exactDiameter(trial.graph);
         auto adversary = sc.make();

@@ -76,7 +76,7 @@ int main() {
       spec.masterSeed = 100 + n;
 
       const double bound = 10.0 * std::pow(static_cast<double>(n), 0.45) * logN * logN;
-      const auto summary = runner.runCustom(spec.name, trials, [&](std::uint32_t index) {
+      const auto summary = runScenario(runner, spec.name, trials, [&](std::uint32_t index) {
         MaterializedTrial trial = materializeTrial(spec, index);
         const BeaconOutcome out = runBeaconCounting(trial.graph, trial.byz, spec.beaconAttack,
                                                     spec.beaconParams, spec.beaconLimits,

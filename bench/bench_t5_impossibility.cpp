@@ -7,6 +7,10 @@
 // and shows (a) the gadget's vertex expansion collapses as t grows, and
 // (b) the estimates of two protocols stay pinned at the copy size while the
 // true log n grows — whereas on H(n,d) the same protocols track n.
+//
+// Each row aggregates R trials (protocol and sweep streams forked per trial;
+// the gadget itself is deterministic) on the ExperimentRunner.
+// BZC_TRIALS / BZC_THREADS override.
 #include <cmath>
 #include <iostream>
 
@@ -18,6 +22,8 @@
 namespace {
 
 using namespace bzc;
+
+enum : std::size_t { kGeoEst, kBeaconEst, kExpansion, kExtraSlots };
 
 double meanHonestEstimate(const CountingResult& result, const ByzantineSet& byz) {
   double mean = 0;
@@ -40,8 +46,12 @@ int main() {
       "T5 — Theorem 3: glued-copies gadget (t rings of 128 nodes sharing one Byzantine hub)",
       "As t doubles, true ln n grows by ln 2 = 0.69 per step, but honest estimates inside\n"
       "a copy cannot move: the hub suppresses everything the far copies would reveal.\n"
-      "Estimates are averaged over 4 seeds. h_upper is the Fiedler-sweep upper bound on\n"
-      "the gadget's vertex expansion.");
+      "Cells aggregate R trials. h_upper is the Fiedler-sweep upper bound on the\n"
+      "gadget's vertex expansion.");
+
+  const std::uint32_t trials = trialCount(4);
+  ExperimentRunner runner(threadCount());
+  std::cout << "trials/row=" << trials << "  threads=" << runner.threadCount() << "\n\n";
 
   const NodeId m = 128;
   Table table({"copies t", "n", "ln n", "h upper bound", "geometric est (ln)",
@@ -49,39 +59,45 @@ int main() {
   std::vector<double> geoMeans;
   std::vector<double> beaconMeans;
   std::vector<double> lnNs;
+  std::uint64_t row = 0;
   for (NodeId t : {1u, 2u, 4u, 8u, 16u}) {
-    const Graph g = gluedCopies(ring(m), 0, t);
+    const Graph g = gluedCopies(ring(m), 0, t);  // deterministic gadget, shared by all trials
     const NodeId n = g.numNodes();
     const ByzantineSet byz(n, {0});
-    double geoMean = 0;
-    double beaconMean = 0;
-    const int seeds = 4;
-    for (int seed = 0; seed < seeds; ++seed) {
-      Rng r1(1000 + 10 * t + seed);
-      geoMean +=
-          meanHonestEstimate(runGeometricMax(g, byz, GeometricAttack::Suppress, {}, r1), byz);
-      Rng r2(2000 + 10 * t + seed);
-      BeaconLimits limits;
-      limits.maxPhase = 40;
-      beaconMean += meanHonestEstimate(
-          runBeaconCounting(g, byz, BeaconAttackProfile::suppressor(), {}, limits, r2)
-              .result,
-          byz);
-    }
-    geoMean /= seeds;
-    beaconMean /= seeds;
-    Rng sweepRng(30 + t);
-    const SweepCut cut = fiedlerSweep(g, 200, sweepRng);
-    geoMeans.push_back(geoMean);
-    beaconMeans.push_back(beaconMean);
+    const std::uint64_t seed = rowSeed(5, row++);
+
+    const auto summary =
+        runScenario(runner, "t5-gadget-t" + std::to_string(t), trials, [&](std::uint32_t index) {
+          const Rng trialRng = Rng(seed).fork(index);
+          Rng geoRng = trialRng.fork(1);
+          const auto geo = runGeometricMax(g, byz, GeometricAttack::Suppress, {}, geoRng);
+          Rng beaconRng = trialRng.fork(2);
+          BeaconLimits limits;
+          limits.maxPhase = 40;
+          const auto beacon =
+              runBeaconCounting(g, byz, BeaconAttackProfile::suppressor(), {}, limits, beaconRng)
+                  .result;
+          Rng sweepRng = trialRng.fork(3);
+          const SweepCut cut = fiedlerSweep(g, 200, sweepRng);
+          TrialOutcome out = countingTrialOutcome(beacon, byz, n);
+          out.extra.assign(kExtraSlots, 0.0);
+          out.extra[kGeoEst] = meanHonestEstimate(geo, byz);
+          out.extra[kBeaconEst] = meanHonestEstimate(beacon, byz);
+          out.extra[kExpansion] = cut.expansion;
+          return out;
+        });
+
+    geoMeans.push_back(summary.extras[kGeoEst].mean);
+    beaconMeans.push_back(summary.extras[kBeaconEst].mean);
     lnNs.push_back(std::log(static_cast<double>(n)));
     table.addRow({Table::integer(t), Table::integer(n),
-                  Table::num(std::log(static_cast<double>(n)), 2), Table::num(cut.expansion, 4),
-                  Table::num(geoMean, 2), Table::num(beaconMean, 2)});
+                  Table::num(std::log(static_cast<double>(n)), 2),
+                  Table::num(summary.extras[kExpansion].mean, 4),
+                  distCell(summary.extras[kGeoEst]), distCell(summary.extras[kBeaconEst])});
   }
   table.print(std::cout);
 
-  const double lnGrowth = lnNs.back() - lnNs.front();           // ~ ln 16
+  const double lnGrowth = lnNs.back() - lnNs.front();  // ~ ln 16
   const double geoGrowth = std::abs(geoMeans.back() - geoMeans.front());
   const double beaconGrowth = std::abs(beaconMeans.back() - beaconMeans.front());
   std::cout << "true ln n growth over the sweep: " << Table::num(lnGrowth, 2)
@@ -92,11 +108,21 @@ int main() {
   // size growth.
   std::vector<double> controlMeans;
   for (NodeId n : {128u, 2048u}) {
-    const Graph g = makeHnd(n, 8, 7);
-    const ByzantineSet none(n, {});
-    Rng rng(40 + n);
-    controlMeans.push_back(meanHonestEstimate(
-        runBeaconCounting(g, none, BeaconAttackProfile::none(), {}, {}, rng).result, none));
+    ScenarioSpec spec;
+    spec.name = "t5-control-n" + std::to_string(n);
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = Placement::None;
+    spec.trials = trials;
+    spec.masterSeed = rowSeed(5, row++);
+    const auto summary = runScenario(runner, spec.name, trials, [&](std::uint32_t index) {
+      MaterializedTrial trial = materializeTrial(spec, index);
+      const auto out = runBeaconCounting(trial.graph, trial.byz, BeaconAttackProfile::none(), {},
+                                         {}, trial.runRng);
+      TrialOutcome t = countingTrialOutcome(out.result, trial.byz, n);
+      t.extra = {meanHonestEstimate(out.result, trial.byz), 0.0, 0.0};
+      return t;
+    });
+    controlMeans.push_back(summary.extras[0].mean);
   }
   std::cout << "control on H(n,8): beacon estimate moved "
             << Table::num(controlMeans[1] - controlMeans[0], 2) << " for the same 16x growth\n";

@@ -56,7 +56,7 @@ int main() {
       spec.protocol = ProtocolKind::GeometricMax;
       spec.geometricAttack = b == 0 ? GeometricAttack::None : GeometricAttack::Inflate;
       spec.masterSeed = 801 + b;
-      cells.push_back({"geometric-max", b == 0 ? "none" : "inflate", b, runner.run(spec)});
+      cells.push_back({"geometric-max", b == 0 ? "none" : "inflate", b, runScenario(runner, spec)});
     }
     {
       ScenarioSpec spec = base;
@@ -64,7 +64,7 @@ int main() {
       spec.protocol = ProtocolKind::SupportEstimation;
       spec.supportAttack = b == 0 ? SupportAttack::None : SupportAttack::ZeroInject;
       spec.masterSeed = 802 + b;
-      cells.push_back({"support-estimation", b == 0 ? "none" : "zero-inject", b, runner.run(spec)});
+      cells.push_back({"support-estimation", b == 0 ? "none" : "zero-inject", b, runScenario(runner, spec)});
     }
     {
       ScenarioSpec spec = base;
@@ -72,7 +72,7 @@ int main() {
       spec.protocol = ProtocolKind::SpanningTree;
       spec.treeAttack = b == 0 ? TreeAttack::None : TreeAttack::Inflate;
       spec.masterSeed = 803 + b;
-      cells.push_back({"spanning-tree", b == 0 ? "none" : "inflate", b, runner.run(spec)});
+      cells.push_back({"spanning-tree", b == 0 ? "none" : "inflate", b, runScenario(runner, spec)});
     }
   }
 

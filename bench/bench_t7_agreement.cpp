@@ -6,6 +6,12 @@
 // deliberately tiny estimate, a deliberately huge estimate, and the
 // estimates actually produced by Algorithm 2 (benign and under the beacon
 // flooder). Claim: counting-derived estimates work as well as the oracle.
+//
+// Both stages run as message-passing protocols on the SyncEngine, so rounds
+// and message/bit totals are real metered costs. Each row aggregates R
+// independent trials (graph, placement, counting and walk-token streams all
+// forked per trial); cells show mean [min,max]. BZC_TRIALS / BZC_THREADS
+// override the defaults.
 #include <cmath>
 #include <iostream>
 
@@ -19,16 +25,27 @@ int main() {
   experimentHeader(
       "T7 — §1.1: counting -> agreement pipeline (n = 1024, H(n,8), B = 8, adaptive adversary)",
       "'agree' is the fraction of honest nodes ending on the initial honest majority bit\n"
-      "after the sampling+majority protocol; 'a-e' marks almost-everywhere agreement\n"
-      "(agree >= 90%). Initial split: 70/30.");
+      "after the sampling+majority protocol; 'a-e' is the fraction of trials reaching\n"
+      "almost-everywhere agreement (agree >= 90%). Initial split: 70/30. Rounds and\n"
+      "message totals are engine-metered, not analytic. Cells aggregate R trials.");
 
   const NodeId n = 1024;
-  const Graph g = makeHnd(n, 8, 9);
-  const auto byz = placeFor(g, Placement::Random, 8, 90);
   const double logN = std::log(static_cast<double>(n));
+  const std::uint32_t trials = trialCount(5);
+  ExperimentRunner runner(threadCount());
+  std::cout << "trials/row=" << trials << "  threads=" << runner.threadCount() << "\n\n";
 
-  Table table({"estimate source", "mean L", "agree", "a-e (90%)", "logical rounds",
+  Table table({"estimate source", "mean L", "agree", "a-e (90%)", "rounds", "messages",
                "compromised samples"});
+  std::uint64_t row = 0;
+
+  const auto addRow = [&](const std::string& name, const ExperimentSummary& s, double meanL) {
+    table.addRow({name, Table::num(meanL, 2), distPercentCell(s.extras[kAgreementFracAgreeing]),
+                  Table::percent(aeTrialFraction(s)), distCell(s.extras[kAgreementRounds], 0),
+                  distCell(s.totalMessages, 0),
+                  Table::integer(static_cast<long long>(s.extras[kAgreementCompromised].mean))});
+  };
+
   AgreementParams agreeParams;
   agreeParams.initialOnesFraction = 0.7;
 
@@ -36,41 +53,43 @@ int main() {
   double pipelineAgree = 0;
   double tinyAgree = 0;
 
-  auto addUniformRow = [&](const std::string& name, double L) {
-    Rng rng(900 + static_cast<std::uint64_t>(L * 10));
-    const auto out = runMajorityAgreement(g, byz, L, agreeParams, rng);
-    table.addRow({name, Table::num(L, 2), Table::percent(out.fracAgreeing),
-                  passFail(out.almostEverywhere(0.1)), Table::integer(out.logicalRounds),
-                  Table::integer(static_cast<long long>(out.compromisedSamples))});
-    return out.fracAgreeing;
+  const auto runUniformRow = [&](const std::string& name, double L) {
+    ScenarioSpec spec;
+    spec.name = "t7-" + name;
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = Placement::Random;
+    spec.placement.count = 8;
+    spec.protocol = ProtocolKind::Agreement;
+    spec.agreementParams = agreeParams;
+    spec.agreementEstimate = L;
+    spec.trials = trials;
+    spec.masterSeed = rowSeed(7, row++);
+    const ExperimentSummary s = runScenario(runner, spec);
+    addRow(name, s, s.extras[kAgreementMeanEstimate].mean);
+    return s.extras[kAgreementFracAgreeing].mean;
   };
 
-  oracleAgree = addUniformRow("oracle ln n", logN);
-  tinyAgree = addUniformRow("too small (L=1)", 1.0);
-  addUniformRow("overshoot (L=3 ln n)", 3.0 * logN);
+  oracleAgree = runUniformRow("oracle ln n", logN);
+  tinyAgree = runUniformRow("too small (L=1)", 1.0);
+  runUniformRow("overshoot (L=3 ln n)", 3.0 * logN);
 
   for (const auto& attack : {BeaconAttackProfile::none(), BeaconAttackProfile::flooder()}) {
-    PipelineParams params;
-    params.agreement = agreeParams;
-    params.agreement.walkLengthFactor = 0.5;  // counting phases overshoot ln n
-    params.estimateSafetyFactor = 1.5;
-    params.countingLimits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
-    Rng rng(950 + (attack.name == "none" ? 0 : 1));
-    const auto out = runCountingThenAgreement(g, byz, attack, params, rng);
-    double meanL = 0;
-    std::size_t c = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (byz.contains(u) || !out.counting.result.decisions[u].decided) continue;
-      meanL += params.estimateSafetyFactor * out.counting.result.decisions[u].estimate;
-      ++c;
-    }
-    meanL /= c;
-    table.addRow({std::string("Algorithm 2 (") + attack.name + ")", Table::num(meanL, 2),
-                  Table::percent(out.agreement.fracAgreeing),
-                  passFail(out.agreement.almostEverywhere(0.1)),
-                  Table::integer(out.agreement.logicalRounds),
-                  Table::integer(static_cast<long long>(out.agreement.compromisedSamples))});
-    if (attack.name == "flooder") pipelineAgree = out.agreement.fracAgreeing;
+    ScenarioSpec spec;
+    spec.name = "t7-pipeline-" + attack.name;
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = Placement::Random;
+    spec.placement.count = 8;
+    spec.protocol = ProtocolKind::Pipeline;
+    spec.beaconAttack = attack;
+    spec.pipelineParams.agreement = agreeParams;
+    spec.pipelineParams.agreement.walkLengthFactor = 0.5;  // counting phases overshoot ln n
+    spec.pipelineParams.estimateSafetyFactor = 1.5;
+    spec.pipelineParams.countingLimits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
+    spec.trials = trials;
+    spec.masterSeed = rowSeed(7, row++);
+    const ExperimentSummary s = runScenario(runner, spec);
+    addRow("Algorithm 2 (" + attack.name + ")", s, s.extras[kAgreementMeanEstimate].mean);
+    if (attack.name == "flooder") pipelineAgree = s.extras[kAgreementFracAgreeing].mean;
   }
   table.print(std::cout);
 

@@ -10,43 +10,94 @@
 //      cut of a barbell (assumption violation) rounds before ball growth
 //      throttles; on a true expander it never fires (no false positives).
 //  (e) Activation scale c1 (Line 5): estimate stability across c1.
+//  (f) Phase schedule: linear (paper) vs doubling (open-problem probe).
+//
+// Every sub-table aggregates R trials (fresh graph, placement and protocol
+// streams per trial) on the ExperimentRunner. BZC_TRIALS / BZC_THREADS
+// override.
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "counting/beacon/protocol.hpp"
 #include "counting/local/protocol.hpp"
-#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace bzc;
+using namespace bzc::bench;
+
+constexpr NodeId kN = 512;
+
+enum : std::size_t { kMeanEst, kMaxEst, kLastPhase, kAux0, kAux1, kExtraSlots };
+
+ScenarioSpec baseSpec(const std::string& name, std::uint64_t seed, bool withByz) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.graph = {GraphKind::Hnd, kN, 8, 0.1};
+  spec.placement.kind = withByz ? Placement::Random : Placement::None;
+  if (withByz) spec.byzGamma = 0.55;
+  spec.trials = trialCount(5);
+  spec.masterSeed = seed;
+  return spec;
+}
+
+BeaconLimits standardLimits() {
+  BeaconLimits limits;
+  limits.maxPhase =
+      static_cast<std::uint32_t>(std::ceil(std::log(static_cast<double>(kN)))) + 3;
+  return limits;
+}
+
+/// Runs a beacon scenario with per-trial params and returns the summary.
+ExperimentSummary runBeaconRow(ExperimentRunner& runner, const ScenarioSpec& spec,
+                               const BeaconAttackProfile& attack, const BeaconParams& params,
+                               const BeaconLimits& limits) {
+  return runScenario(runner, spec.name, spec.trials, [&](std::uint32_t index) {
+    MaterializedTrial trial = materializeTrial(spec, index);
+    const auto out =
+        runBeaconCounting(trial.graph, trial.byz, attack, params, limits, trial.runRng);
+    const auto s = summarize(out.result, trial.byz, kN);
+    TrialOutcome t = countingTrialOutcome(out.result, trial.byz, kN);
+    t.extra.assign(kExtraSlots, 0.0);
+    t.extra[kMeanEst] = s.meanEst;
+    t.extra[kMaxEst] = s.maxEst;
+    t.extra[kLastPhase] = static_cast<double>(out.stats.lastPhase);
+    t.extra[kAux0] = s.maxEst - s.minEst;  // estimate spread
+    t.extra[kAux1] = s.meanRatio;
+    return t;
+  });
+}
+
+}  // namespace
 
 int main() {
-  using namespace bzc;
-  using namespace bzc::bench;
-
-  const NodeId n = 512;
-  const Graph g = makeHnd(n, 8, 10);
-  const auto byz = placeFor(g, Placement::Random, byzantineBudget(n, 0.55), 110);
-  const double logN = std::log(static_cast<double>(n));
-  BeaconLimits limits;
-  limits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
+  const std::uint32_t trials = trialCount(5);
+  ExperimentRunner runner(threadCount());
 
   // (a) Blacklisting.
   experimentHeader("T8a — blacklisting under the beacon flooder (n = 512)",
                    "Without blacklisting (Line 32 disabled) forged beacons are never rejected\n"
-                   "and honest nodes cannot decide (§1.3).");
+                   "and honest nodes cannot decide (§1.3). Cells aggregate R trials.");
   {
     Table table({"blacklisting", "frac decided", "est mean", "last phase"});
     double fracOn = 0;
     double fracOff = 0;
+    // Arms share one seed: the on/off comparison is paired on identical
+    // graphs, placements and protocol streams, isolating the ablated flag.
+    const std::uint64_t seed = rowSeed(8, 0);
     for (bool enabled : {true, false}) {
+      const auto spec =
+          baseSpec(std::string("t8a-blacklist-") + (enabled ? "on" : "off"), seed, true);
       BeaconParams params;
       params.blacklistEnabled = enabled;
-      Rng rng(111);
-      const auto out =
-          runBeaconCounting(g, byz, BeaconAttackProfile::flooder(), params, limits, rng);
-      const auto s = summarize(out.result, byz, n);
-      (enabled ? fracOn : fracOff) = s.fracDecided;
-      table.addRow({enabled ? "on" : "off", Table::percent(s.fracDecided),
-                    Table::num(s.meanEst, 2), Table::integer(out.stats.lastPhase)});
+      const auto s =
+          runBeaconRow(runner, spec, BeaconAttackProfile::flooder(), params, standardLimits());
+      (enabled ? fracOn : fracOff) = s.fracDecided.mean;
+      table.addRow({enabled ? "on" : "off", distPercentCell(s.fracDecided),
+                    Table::num(s.extras[kMeanEst].mean, 2),
+                    Table::num(s.extras[kLastPhase].mean, 1)});
     }
     table.print(std::cout);
     shapeCheck("blacklisting is necessary against the flooder", fracOn > 0.7 && fracOff < 0.2);
@@ -60,16 +111,16 @@ int main() {
     Table table({"continue msgs", "est mean", "est max", "rounds"});
     double meanOn = 0;
     double meanOff = 0;
-    const ByzantineSet none(n, {});
+    const std::uint64_t seed = rowSeed(8, 1);  // shared: paired arms
     for (bool enabled : {true, false}) {
+      const auto spec =
+          baseSpec(std::string("t8b-continue-") + (enabled ? "on" : "off"), seed, false);
       BeaconParams params;
       params.continueEnabled = enabled;
-      Rng rng(112);
-      const auto out = runBeaconCounting(g, none, BeaconAttackProfile::none(), params, {}, rng);
-      const auto s = summarize(out.result, none, n);
-      (enabled ? meanOn : meanOff) = s.meanEst;
-      table.addRow({enabled ? "on" : "off", Table::num(s.meanEst, 2), Table::num(s.maxEst, 0),
-                    Table::integer(out.result.totalRounds)});
+      const auto s = runBeaconRow(runner, spec, BeaconAttackProfile::none(), params, {});
+      (enabled ? meanOn : meanOff) = s.extras[kMeanEst].mean;
+      table.addRow({enabled ? "on" : "off", Table::num(s.extras[kMeanEst].mean, 2),
+                    Table::num(s.extras[kMaxEst].mean, 1), distCell(s.totalRounds, 0)});
     }
     table.print(std::cout);
     shapeCheck("continues keep estimates from sagging", meanOn >= meanOff);
@@ -82,18 +133,19 @@ int main() {
                    "decisions better than taking the first arrival.");
   {
     Table table({"policy", "frac decided", "in window [0.3,1.8]", "est mean"});
+    const std::uint64_t seed = rowSeed(8, 2);  // shared: paired arms
     for (BeaconChoicePolicy policy :
          {BeaconChoicePolicy::FirstSeen, BeaconChoicePolicy::PreferAcceptable}) {
+      const auto spec = baseSpec(std::string("t8c-policy-") +
+                                     (policy == BeaconChoicePolicy::FirstSeen ? "first" : "prefer"),
+                                 seed, true);
       BeaconParams params;
       params.choice = policy;
-      Rng rng(113);
-      const auto out =
-          runBeaconCounting(g, byz, BeaconAttackProfile::tamperer(), params, limits, rng);
-      const auto s = summarize(out.result, byz, n);
-      const auto q = evaluateQuality(out.result, byz, n, {0.3, 1.8});
+      const auto s =
+          runBeaconRow(runner, spec, BeaconAttackProfile::tamperer(), params, standardLimits());
       table.addRow({policy == BeaconChoicePolicy::FirstSeen ? "first-seen" : "prefer-acceptable",
-                    Table::percent(s.fracDecided), Table::percent(q.fracWithinWindow),
-                    Table::num(s.meanEst, 2)});
+                    distPercentCell(s.fracDecided), distPercentCell(s.fracWithinWindow),
+                    Table::num(s.extras[kMeanEst].mean, 2)});
     }
     table.print(std::cout);
   }
@@ -104,35 +156,44 @@ int main() {
                    "assumption violated) the sweep detects the sparse cut; on H(512,8) it\n"
                    "never fires (no false positives) and benign behaviour is unchanged.");
   {
-    Rng barbellRng(114);
-    const Graph bb = barbell(256, 8, 2, barbellRng);
     Table table({"graph", "spectral", "mean est", "ball decisions", "sweep decisions"});
     bool sweepFiresOnBarbell = false;
     bool noFalsePositives = true;
     for (const auto* graphName : {"barbell", "expander"}) {
-      const Graph& graph = std::string(graphName) == "barbell" ? bb : g;
-      const ByzantineSet none(graph.numNodes(), {});
+      const bool isBarbell = std::string(graphName) == "barbell";
+      // Shared per graph family: the spectral on/off arms see identical
+      // graphs and run streams.
+      const std::uint64_t seed = rowSeed(8, isBarbell ? 3 : 4);
       for (bool spectral : {false, true}) {
-        auto adversary = makeHonestLocalAdversary();
-        LocalParams params;
-        params.checks.spectralEnabled = spectral;
-        Rng rng(115);
-        const auto out = runLocalCounting(graph, none, *adversary, params, rng);
-        const auto s = summarize(out.result, none, graph.numNodes());
-        if (spectral && std::string(graphName) == "barbell") {
-          sweepFiresOnBarbell = out.stats.sparseCutDecisions > 0;
-        }
-        if (spectral && std::string(graphName) == "expander") {
-          noFalsePositives = out.stats.sparseCutDecisions == 0;
-        }
-        table.addRow({graphName, spectral ? "on" : "off", Table::num(s.meanEst, 2),
-                      Table::integer(static_cast<long long>(out.stats.ballGrowthDecisions)),
-                      Table::integer(static_cast<long long>(out.stats.sparseCutDecisions))});
+        const std::string name = std::string("t8d-") + graphName + (spectral ? "-sweep" : "-ball");
+        const auto s = runScenario(runner, name, trials, [&](std::uint32_t index) {
+          const Rng trialRng = Rng(seed).fork(index);
+          Rng graphRng = trialRng.fork(1);
+          const Graph graph =
+              isBarbell ? barbell(256, 8, 2, graphRng) : hnd(kN, 8, graphRng);
+          const ByzantineSet none(graph.numNodes(), {});
+          auto adversary = makeHonestLocalAdversary();
+          LocalParams params;
+          params.checks.spectralEnabled = spectral;
+          Rng runRng = trialRng.fork(2);
+          const auto out = runLocalCounting(graph, none, *adversary, params, runRng);
+          const auto est = summarize(out.result, none, graph.numNodes());
+          TrialOutcome t = countingTrialOutcome(out.result, none, graph.numNodes());
+          t.extra.assign(kExtraSlots, 0.0);
+          t.extra[kMeanEst] = est.meanEst;
+          t.extra[kAux0] = static_cast<double>(out.stats.ballGrowthDecisions);
+          t.extra[kAux1] = static_cast<double>(out.stats.sparseCutDecisions);
+          return t;
+        });
+        if (spectral && isBarbell) sweepFiresOnBarbell = s.extras[kAux1].min > 0;
+        if (spectral && !isBarbell) noFalsePositives = s.extras[kAux1].max == 0;
+        table.addRow({graphName, spectral ? "on" : "off", Table::num(s.extras[kMeanEst].mean, 2),
+                      Table::num(s.extras[kAux0].mean, 0), Table::num(s.extras[kAux1].mean, 0)});
       }
     }
     table.print(std::cout);
-    shapeCheck("sweep detects the barbell's sparse cut", sweepFiresOnBarbell);
-    shapeCheck("sweep never fires on the true expander", noFalsePositives);
+    shapeCheck("sweep detects the barbell's sparse cut (every trial)", sweepFiresOnBarbell);
+    shapeCheck("sweep never fires on the true expander (any trial)", noFalsePositives);
   }
 
   // (e) Activation scale c1.
@@ -140,15 +201,15 @@ int main() {
                    "The estimate shifts by ~log_d(c1): a mild, bounded sensitivity.");
   {
     Table table({"c1", "est mean", "est spread", "rounds"});
-    const ByzantineSet none(n, {});
+    const std::uint64_t seed = rowSeed(8, 5);  // shared: paired sweep
     for (double c1 : {1.0, 4.0, 16.0}) {
+      const auto spec =
+          baseSpec("t8e-c1-" + std::to_string(static_cast<int>(c1)), seed, false);
       BeaconParams params;
       params.c1 = c1;
-      Rng rng(116);
-      const auto out = runBeaconCounting(g, none, BeaconAttackProfile::none(), params, {}, rng);
-      const auto s = summarize(out.result, none, n);
-      table.addRow({Table::num(c1, 0), Table::num(s.meanEst, 2),
-                    Table::num(s.maxEst - s.minEst, 0), Table::integer(out.result.totalRounds)});
+      const auto s = runBeaconRow(runner, spec, BeaconAttackProfile::none(), params, {});
+      table.addRow({Table::num(c1, 0), Table::num(s.extras[kMeanEst].mean, 2),
+                    Table::num(s.extras[kAux0].mean, 1), distCell(s.totalRounds, 0)});
     }
     table.print(std::cout);
   }
@@ -161,27 +222,30 @@ int main() {
       "attack. Probes the paper's open problem of cheaper small-message counting.");
   {
     Table table({"schedule", "scenario", "frac decided", "est mean", "est/ln n", "rounds"});
-    const ByzantineSet none(n, {});
     bool doublingCorrect = true;
     for (PhaseSchedule schedule : {PhaseSchedule::Linear, PhaseSchedule::Doubling}) {
       for (const bool attacked : {false, true}) {
+        const std::string name = std::string("t8f-") +
+                                 (schedule == PhaseSchedule::Linear ? "linear" : "doubling") +
+                                 (attacked ? "-flooder" : "-benign");
+        // Shared per scenario: linear vs doubling compare on the same
+        // workloads.
+        const auto spec = baseSpec(name, rowSeed(8, attacked ? 7 : 6), attacked);
         BeaconParams params;
         params.schedule = schedule;
         BeaconLimits scheduleLimits;
         scheduleLimits.maxPhase = 16;
-        Rng rng(117);
-        const auto out = runBeaconCounting(
-            g, attacked ? byz : none,
-            attacked ? BeaconAttackProfile::flooder() : BeaconAttackProfile::none(), params,
-            scheduleLimits, rng);
-        const auto s = summarize(out.result, attacked ? byz : none, n);
+        const auto s = runBeaconRow(
+            runner, spec, attacked ? BeaconAttackProfile::flooder() : BeaconAttackProfile::none(),
+            params, scheduleLimits);
         if (schedule == PhaseSchedule::Doubling) {
-          doublingCorrect = doublingCorrect && s.fracDecided > 0.7 && s.meanRatio < 3.0;
+          doublingCorrect =
+              doublingCorrect && s.fracDecided.mean > 0.7 && s.extras[kAux1].mean < 3.0;
         }
         table.addRow({schedule == PhaseSchedule::Linear ? "linear" : "doubling",
-                      attacked ? "flooder" : "benign", Table::percent(s.fracDecided),
-                      Table::num(s.meanEst, 2), Table::num(s.meanRatio, 2),
-                      Table::integer(out.result.totalRounds)});
+                      attacked ? "flooder" : "benign", distPercentCell(s.fracDecided),
+                      Table::num(s.extras[kMeanEst].mean, 2), Table::num(s.extras[kAux1].mean, 2),
+                      distCell(s.totalRounds, 0)});
       }
     }
     table.print(std::cout);

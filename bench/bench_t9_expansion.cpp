@@ -8,56 +8,86 @@
 // (b) Lemma 1/13: removing B = n^(1-gamma) nodes (random or packed) from
 //     H(n,d) leaves a connected subgraph of >= n - O(B) nodes that is still
 //     an expander — the structural fact both algorithms lean on.
+//
+// Every row aggregates R trials on the ExperimentRunner: random families are
+// re-sampled per trial, and the power-iteration/sampling estimators always
+// re-run on fresh streams. BZC_TRIALS / BZC_THREADS override.
 #include <cmath>
+#include <functional>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "graph/bfs.hpp"
 #include "graph/expansion.hpp"
 
+namespace {
+
+using namespace bzc;
+using namespace bzc::bench;
+
+enum : std::size_t { kExpansion, kSampled, kGap, kDiam, kExtraSlots };
+enum : std::size_t { kGiant, kFloor, kPruned, kGiantExpansion, kHolds, kLemmaSlots };
+
+}  // namespace
+
 int main() {
-  using namespace bzc;
-  using namespace bzc::bench;
+  const std::uint32_t trials = trialCount(4);
+  ExperimentRunner runner(threadCount());
+  std::uint64_t row = 0;
 
   experimentHeader(
       "T9a — vertex expansion across graph families (n ~ 1024)",
       "h upper bound: Fiedler-sweep estimate of min |Out(S)|/|S|; gap: spectral gap of\n"
       "the lazy walk. The algorithms assume constant h; Theorem 3 shows h -> 0 kills\n"
-      "counting.");
+      "counting. Cells aggregate R trials (random families re-sampled per trial).");
+  std::cout << "trials/row=" << trials << "  threads=" << runner.threadCount() << "\n\n";
 
   struct Family {
     std::string name;
-    Graph graph;
+    std::function<Graph(Rng&)> make;  ///< trial stream -> graph
   };
-  Rng wsRng(120);
-  Rng bbRng(121);
-  std::vector<Family> families;
-  families.push_back({"H(1024,8)", makeHnd(1024, 8, 11)});
-  families.push_back({"H(1024,12)", makeHnd(1024, 12, 12)});
-  families.push_back({"config-model(1024,8)", [] {
-                        Rng r(122);
-                        return configurationModel(1024, 8, r);
-                      }()});
-  families.push_back({"watts-strogatz(1024,4,0.2)", wattsStrogatz(1024, 4, 0.2, wsRng)});
-  families.push_back({"ring(1024)", ring(1024)});
-  families.push_back({"torus(32x32)", torus2d(32, 32)});
-  families.push_back({"binary-tree(1023)", binaryTree(1023)});
-  families.push_back({"barbell(512+512, 2 bridges)", barbell(512, 8, 2, bbRng)});
+  const Family families[] = {
+      {"H(1024,8)", [](Rng& r) { return hnd(1024, 8, r); }},
+      {"H(1024,12)", [](Rng& r) { return hnd(1024, 12, r); }},
+      {"config-model(1024,8)", [](Rng& r) { return configurationModel(1024, 8, r); }},
+      {"watts-strogatz(1024,4,0.2)", [](Rng& r) { return wattsStrogatz(1024, 4, 0.2, r); }},
+      {"ring(1024)", [](Rng&) { return ring(1024); }},
+      {"torus(32x32)", [](Rng&) { return torus2d(32, 32); }},
+      {"binary-tree(1023)", [](Rng&) { return binaryTree(1023); }},
+      {"barbell(512+512, 2 bridges)", [](Rng& r) { return barbell(512, 8, 2, r); }},
+  };
 
   Table table({"family", "h upper bound", "sampled h bound", "spectral gap", "diam (approx)"});
   double hExpander = 0;
   double hRing = 1;
-  for (auto& f : families) {
-    Rng r1(130);
-    const SweepCut cut = fiedlerSweep(f.graph, 200, r1);
-    Rng r2(131);
-    const double sampled = sampledExpansionUpperBound(f.graph, 100, r2);
-    Rng r3(132);
-    const double gap = spectralGapEstimate(f.graph, 200, r3);
-    if (f.name == "H(1024,8)") hExpander = cut.expansion;
-    if (f.name == "ring(1024)") hRing = cut.expansion;
-    table.addRow({f.name, Table::num(cut.expansion, 4), Table::num(sampled, 4),
-                  Table::num(gap, 4), Table::integer(approxDiameter(f.graph))});
+  for (const Family& f : families) {
+    const std::uint64_t seed = rowSeed(9, row++);
+    const auto summary = runScenario(runner, "t9a-" + f.name, trials, [&](std::uint32_t index) {
+      const Rng trialRng = Rng(seed).fork(index);
+      Rng graphRng = trialRng.fork(1);
+      const Graph g = f.make(graphRng);
+      Rng sweepRng = trialRng.fork(2);
+      const SweepCut cut = fiedlerSweep(g, 200, sweepRng);
+      Rng sampleRng = trialRng.fork(3);
+      const double sampled = sampledExpansionUpperBound(g, 100, sampleRng);
+      Rng gapRng = trialRng.fork(4);
+      const double gap = spectralGapEstimate(g, 200, gapRng);
+      TrialOutcome t;
+      t.quality.fracDecided = 1.0;
+      t.resultFingerprint = fnv1a64(&cut.expansion, sizeof cut.expansion);
+      t.extra.assign(kExtraSlots, 0.0);
+      t.extra[kExpansion] = cut.expansion;
+      t.extra[kSampled] = sampled;
+      t.extra[kGap] = gap;
+      t.extra[kDiam] = static_cast<double>(approxDiameter(g));
+      return t;
+    });
+    if (f.name == "H(1024,8)") hExpander = summary.extras[kExpansion].mean;
+    if (f.name == "ring(1024)") hRing = summary.extras[kExpansion].mean;
+    table.addRow({f.name, Table::num(summary.extras[kExpansion].mean, 4),
+                  Table::num(summary.extras[kSampled].mean, 4),
+                  Table::num(summary.extras[kGap].mean, 4),
+                  Table::num(summary.extras[kDiam].mean, 1)});
   }
   table.print(std::cout);
   shapeCheck("H(n,d) expansion dominates the ring's by >= 10x", hExpander > 10 * hRing);
@@ -65,50 +95,75 @@ int main() {
   experimentHeader(
       "T9b — Lemma 1/13: H(n,d) survives n^(1-gamma) node removals (n = 2048, gamma = 0.55)",
       "After deleting the Byzantine positions, the surviving component keeps\n"
-      ">= n - 2|F| - o(n) nodes and near-original expansion — the Good-set guarantee.");
+      ">= n - 2|F| - o(n) nodes and near-original expansion — the Good-set guarantee.\n"
+      "Cells aggregate R trials (fresh graph and placement per trial).");
 
   const NodeId n = 2048;
-  const Graph g = makeHnd(n, 8, 13);
   const std::size_t b = byzantineBudget(n, 0.55);
   Table table2({"removal", "|F|", "giant component", "floor n-2|F|", "pruned honest",
                 "h upper bound (giant)"});
   bool lemmaHolds = true;
   for (Placement placement : {Placement::Random, Placement::Ball, Placement::Spread}) {
-    const auto byz = placeFor(g, placement, b, 140 + static_cast<int>(placement));
-    const auto honest = byz.honestNodes();
-    const auto [sub, map] = g.inducedSubgraph(honest);
-    // Lemma 13 prunes whatever the removal shaves off (ball-packed removals
-    // isolate the moated interior); the guarantee is about the giant
-    // component, so extract it and sweep that.
-    std::vector<NodeId> giant;
-    std::vector<char> seen(sub.numNodes(), 0);
-    for (NodeId u = 0; u < sub.numNodes(); ++u) {
-      if (seen[u]) continue;
-      const auto dist = bfsDistances(sub, u);
-      std::vector<NodeId> component;
-      for (NodeId v = 0; v < sub.numNodes(); ++v) {
-        if (dist[v] != kUnreachable) {
-          seen[v] = 1;
-          component.push_back(v);
+    ScenarioSpec spec;
+    spec.name = std::string("t9b-") + (placement == Placement::Random ? "random"
+                                       : placement == Placement::Ball ? "ball"
+                                                                      : "spread");
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = placement;
+    spec.placement.count = b;
+    spec.trials = trials;
+    spec.masterSeed = rowSeed(9, row++);
+
+    const auto summary = runScenario(runner, spec.name, trials, [&](std::uint32_t index) {
+      MaterializedTrial trial = materializeTrial(spec, index);
+      const auto honest = trial.byz.honestNodes();
+      const auto [sub, map] = trial.graph.inducedSubgraph(honest);
+      // Lemma 13 prunes whatever the removal shaves off (ball-packed removals
+      // isolate the moated interior); the guarantee is about the giant
+      // component, so extract it and sweep that.
+      std::vector<NodeId> giant;
+      std::vector<char> seen(sub.numNodes(), 0);
+      for (NodeId u = 0; u < sub.numNodes(); ++u) {
+        if (seen[u]) continue;
+        const auto dist = bfsDistances(sub, u);
+        std::vector<NodeId> component;
+        for (NodeId v = 0; v < sub.numNodes(); ++v) {
+          if (dist[v] != kUnreachable) {
+            seen[v] = 1;
+            component.push_back(v);
+          }
         }
+        if (component.size() > giant.size()) giant = std::move(component);
       }
-      if (component.size() > giant.size()) giant = std::move(component);
-    }
-    const auto [giantGraph, giantMap] = sub.inducedSubgraph(giant);
-    Rng r(141);
-    const SweepCut cut = fiedlerSweep(giantGraph, 200, r);
-    const double floorSize = static_cast<double>(n) - 2.0 * static_cast<double>(b);
-    const bool holds = static_cast<double>(giant.size()) >= floorSize && cut.expansion > 0.15;
-    lemmaHolds = lemmaHolds && holds;
+      const auto [giantGraph, giantMap] = sub.inducedSubgraph(giant);
+      Rng sweepRng = trial.runRng.fork(1);
+      const SweepCut cut = fiedlerSweep(giantGraph, 200, sweepRng);
+      const double floorSize = static_cast<double>(n) - 2.0 * static_cast<double>(b);
+      const bool holds =
+          static_cast<double>(giant.size()) >= floorSize && cut.expansion > 0.15;
+      TrialOutcome t;
+      t.quality.fracDecided = 1.0;
+      const std::size_t giantSize = giant.size();
+      t.resultFingerprint = fnv1a64(&giantSize, sizeof giantSize);
+      t.extra.assign(kLemmaSlots, 0.0);
+      t.extra[kGiant] = static_cast<double>(giant.size());
+      t.extra[kFloor] = floorSize;
+      t.extra[kPruned] = static_cast<double>(honest.size() - giant.size());
+      t.extra[kGiantExpansion] = cut.expansion;
+      t.extra[kHolds] = holds ? 1.0 : 0.0;
+      return t;
+    });
+
+    lemmaHolds = lemmaHolds && summary.extras[kHolds].min >= 1.0;
     table2.addRow({placement == Placement::Random ? "random"
                    : placement == Placement::Ball ? "ball-packed"
                                                   : "spread",
                    Table::integer(static_cast<long long>(b)),
-                   Table::integer(static_cast<long long>(giant.size())), Table::num(floorSize, 0),
-                   Table::integer(static_cast<long long>(honest.size() - giant.size())),
-                   Table::num(cut.expansion, 4)});
+                   distCell(summary.extras[kGiant], 0), Table::num(summary.extras[kFloor].mean, 0),
+                   distCell(summary.extras[kPruned], 0),
+                   Table::num(summary.extras[kGiantExpansion].mean, 4)});
   }
   table2.print(std::cout);
-  shapeCheck("giant component >= n - 2|F| with near-original expansion", lemmaHolds);
+  shapeCheck("giant component >= n - 2|F| with near-original expansion (all trials)", lemmaHolds);
   return 0;
 }

@@ -15,10 +15,9 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/bench_common.hpp"
 #include "counting/beacon/protocol.hpp"
 #include "counting/local/protocol.hpp"
-#include "runtime/experiment.hpp"
-#include "runtime/fingerprint.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -56,7 +55,7 @@ int main(int argc, char** argv) {
     spec.protocol = ProtocolKind::Beacon;
     spec.beaconAttack = attack;
     spec.beaconLimits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
-    const ExperimentSummary s = runner.run(spec);
+    const ExperimentSummary s = bench::runScenario(runner, spec);
     beaconTable.addRow({attack.name, Table::percent(s.fracDecided.mean),
                         Table::num(s.meanRatio.mean, 2),
                         Table::num(s.totalRounds.mean, 0) + " [" +
@@ -85,7 +84,7 @@ int main(int argc, char** argv) {
   enum : std::size_t { kMean, kMax, kInc, kMute, kBall, kCut, kSlots };
   for (const Entry& e : entries) {
     const ScenarioSpec spec = baseSpec(std::string("gallery-local-") + e.name, e.withByzantine);
-    const ExperimentSummary s = runner.runCustom(spec.name, trials, [&](std::uint32_t index) {
+    const ExperimentSummary s = bench::runScenario(runner, spec.name, trials, [&](std::uint32_t index) {
       MaterializedTrial trial = materializeTrial(spec, index);
       auto adversary = e.make();
       const LocalOutcome out =

@@ -10,19 +10,27 @@
 // do); each epoch simply re-runs Byzantine counting. Because the protocol
 // needs no global knowledge at all, re-estimation is a pure re-run — the
 // estimates track the growth while the Byzantine population scales with it.
+//
+// Each epoch aggregates R independent trials (fresh overlay, placement and
+// protocol streams per trial) on the ExperimentRunner; BZC_TRIALS /
+// BZC_THREADS override.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 
+#include "bench/bench_common.hpp"
 #include "counting/beacon/protocol.hpp"
-#include "graph/generators.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bzc;
+  using namespace bzc::bench;
   const std::uint64_t seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 9;
 
-  Rng rng(seed);
+  const std::uint32_t trials = trialCount(5);
+  ExperimentRunner runner(threadCount());
+  std::cout << "trials/epoch=" << trials << "  threads=" << runner.threadCount() << "\n\n";
+
   Table table({"epoch", "n", "ln n", "B", "frac decided", "est mean", "est/ln n", "rounds"});
   double prevMean = 0.0;
   bool tracked = true;
@@ -30,38 +38,29 @@ int main(int argc, char** argv) {
   // integer quantisation of the decided phase.
   NodeId n = 512;
   for (int epoch = 1; epoch <= 3; ++epoch, n *= 8) {
-    Rng topoRng = rng.fork(10 * epoch);
-    const Graph g = hnd(n, 8, topoRng);
     const std::size_t b = byzantineBudget(n, 0.55);
-    Rng placeRng = rng.fork(10 * epoch + 1);
-    const auto byz =
-        placeByzantine(g, {.kind = Placement::Random, .count = b}, placeRng);
-    BeaconLimits limits;
-    limits.maxPhase =
-        static_cast<std::uint32_t>(std::ceil(std::log(static_cast<double>(n)))) + 3;
-    Rng runRng = rng.fork(10 * epoch + 2);
+    ScenarioSpec spec;
+    spec.name = "recount-epoch" + std::to_string(epoch);
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = Placement::Random;
+    spec.placement.count = b;
+    spec.protocol = ProtocolKind::Beacon;
     // The path tamperer keeps an active adversary in every epoch without
     // pinning the estimate at the blacklist-exhaustion phase the way the
     // flooder does (see F2's saturation discussion).
-    const auto out =
-        runBeaconCounting(g, byz, BeaconAttackProfile::tamperer(), {}, limits, runRng);
+    spec.beaconAttack = BeaconAttackProfile::tamperer();
+    spec.beaconLimits.maxPhase =
+        static_cast<std::uint32_t>(std::ceil(std::log(static_cast<double>(n)))) + 3;
+    spec.trials = trials;
+    spec.masterSeed = Rng(seed).fork(epoch).next();
 
-    double mean = 0;
-    std::size_t decided = 0;
-    std::size_t honest = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (byz.contains(u)) continue;
-      ++honest;
-      if (!out.result.decisions[u].decided) continue;
-      ++decided;
-      mean += out.result.decisions[u].estimate;
-    }
-    mean /= static_cast<double>(decided);
+    const ExperimentSummary s = runScenario(runner, spec);
     const double logN = std::log(static_cast<double>(n));
+    const double mean = s.meanRatio.mean * logN;  // meanRatio = est / ln n
     table.addRow({Table::integer(epoch), Table::integer(n), Table::num(logN, 2),
-                  Table::integer(static_cast<long long>(b)),
-                  Table::percent(static_cast<double>(decided) / honest), Table::num(mean, 2),
-                  Table::num(mean / logN, 2), Table::integer(out.result.totalRounds)});
+                  Table::integer(static_cast<long long>(b)), distPercentCell(s.fracDecided),
+                  Table::num(mean, 2), Table::num(s.meanRatio.mean, 2),
+                  distCell(s.totalRounds, 0)});
     if (epoch > 1 && mean < prevMean + 0.4) tracked = false;
     prevMean = mean;
   }

@@ -10,58 +10,67 @@
 // Stage 2: the sampling+majority agreement protocol of [3] runs with each
 //          node using *its own* estimate for walk lengths and iteration
 //          counts. No global knowledge was ever needed.
+//
+// Both stages execute as message-passing protocols on the SyncEngine; the
+// run aggregates R independent trials (BZC_TRIALS / BZC_THREADS override)
+// on the ExperimentRunner and reports metered round/message/bit costs.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 
-#include "agreement/pipeline.hpp"
-#include "graph/generators.hpp"
+#include "bench/bench_common.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bzc;
+  using namespace bzc::bench;
   const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 1024;
   const std::size_t byzCount = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
   const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 11;
+  const double logN = std::log(static_cast<double>(n));
 
-  Rng rng(seed);
-  const Graph g = hnd(n, 8, rng);
-  Rng placeRng = rng.fork(1);
-  const auto byz =
-      placeByzantine(g, {.kind = Placement::Random, .count = byzCount}, placeRng);
+  ScenarioSpec spec;
+  spec.name = "p2p-agreement";
+  spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+  spec.placement.kind = Placement::Random;
+  spec.placement.count = byzCount;
+  spec.protocol = ProtocolKind::Pipeline;
+  spec.beaconAttack = BeaconAttackProfile::flooder();
+  spec.pipelineParams.agreement.initialOnesFraction = 0.65;
+  spec.pipelineParams.agreement.walkLengthFactor = 0.5;
+  spec.pipelineParams.estimateSafetyFactor = 1.5;
+  spec.pipelineParams.countingLimits.maxPhase =
+      static_cast<std::uint32_t>(std::ceil(logN)) + 3;
+  spec.trials = trialCount(5);
+  spec.masterSeed = seed;
 
-  PipelineParams params;
-  params.agreement.initialOnesFraction = 0.65;
-  params.agreement.walkLengthFactor = 0.5;
-  params.estimateSafetyFactor = 1.5;
-  params.countingLimits.maxPhase =
-      static_cast<std::uint32_t>(std::ceil(std::log(static_cast<double>(n)))) + 3;
+  ExperimentRunner runner(threadCount());
+  const ExperimentSummary s = runScenario(runner, spec);
 
-  Rng runRng = rng.fork(2);
-  const auto out = runCountingThenAgreement(g, byz, BeaconAttackProfile::flooder(), params, runRng);
+  std::cout << "network: H(" << n << ",8), " << byzCount
+            << " Byzantine nodes, beacon flooder active; " << s.trials
+            << " independent trials on " << runner.threadCount() << " threads\n\n";
 
   std::cout << "=== stage 1: Byzantine counting (beacon flooder active) ===\n";
-  std::size_t decided = 0;
-  double meanEst = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    if (byz.contains(u) || !out.counting.result.decisions[u].decided) continue;
-    ++decided;
-    meanEst += out.counting.result.decisions[u].estimate;
-  }
-  meanEst /= static_cast<double>(decided);
-  std::cout << "  " << decided << "/" << (n - byz.count())
-            << " honest nodes decided; mean estimate " << Table::num(meanEst, 2)
-            << " (ln n = " << Table::num(std::log(static_cast<double>(n)), 2) << ")"
-            << "; rounds: " << out.counting.result.totalRounds << "\n\n";
+  std::cout << "  honest nodes decided:   " << distPercentCell(s.fracDecided) << "\n"
+            << "  mean estimate (scaled): " << Table::num(s.extras[kAgreementMeanEstimate].mean, 2)
+            << " (ln n = " << Table::num(logN, 2) << ")\n\n";
 
   std::cout << "=== stage 2: sampling+majority agreement on the counting estimates ===\n";
-  std::cout << "  initial honest split: " << Table::percent(params.agreement.initialOnesFraction)
-            << " ones\n"
+  std::cout << "  initial honest split: "
+            << Table::percent(spec.pipelineParams.agreement.initialOnesFraction) << " ones\n"
             << "  honest nodes agreeing with the initial majority: "
-            << Table::percent(out.agreement.fracAgreeing) << "\n"
-            << "  almost-everywhere agreement (>=90%): "
-            << (out.agreement.almostEverywhere(0.1) ? "reached" : "NOT reached") << "\n"
-            << "  samples the adversary corrupted: " << out.agreement.compromisedSamples << "\n"
-            << "  total protocol rounds (counting + agreement): " << out.totalRounds << "\n";
+            << distPercentCell(s.extras[kAgreementFracAgreeing]) << "\n"
+            << "  trials reaching almost-everywhere agreement (>=90%): "
+            << Table::percent(aeTrialFraction(s), 0) << " of " << s.trials << "\n"
+            << "  samples the adversary corrupted (mean): "
+            << Table::num(s.extras[kAgreementCompromised].mean, 0) << "\n\n";
+
+  std::cout << "=== metered cost (counting + agreement, honest traffic only) ===\n";
+  std::cout << "  total rounds:   " << Table::num(s.totalRounds.mean, 0) << " ["
+            << Table::num(s.totalRounds.min, 0) << "," << Table::num(s.totalRounds.max, 0)
+            << "] (agreement stage: " << Table::num(s.extras[kAgreementRounds].mean, 0) << ")\n"
+            << "  total messages: " << Table::num(s.totalMessages.mean, 0) << "\n"
+            << "  total bits:     " << Table::num(s.totalBits.mean, 0) << "\n";
   return 0;
 }

@@ -8,95 +8,93 @@
 // sharp when everyone is honest, destroyed by a single liar), then the two
 // Byzantine-resilient algorithms, which pay a constant-factor loss in
 // exchange for surviving n^(1-gamma) adversarial nodes.
+//
+// Every cell aggregates R independent trials (fresh graph, placement and
+// protocol streams per trial) on the ExperimentRunner, all declaratively
+// through ScenarioSpec. BZC_TRIALS / BZC_THREADS override.
 #include <cmath>
 #include <iostream>
 
-#include "counting/baselines/geometric.hpp"
-#include "counting/baselines/spanning_tree.hpp"
-#include "counting/baselines/support_estimation.hpp"
-#include "counting/beacon/protocol.hpp"
-#include "counting/local/protocol.hpp"
-#include "graph/generators.hpp"
+#include "bench/bench_common.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace bzc;
-
-double meanHonest(const CountingResult& result, const ByzantineSet& byz) {
-  double mean = 0;
-  std::size_t count = 0;
-  for (NodeId u = 0; u < byz.numNodes(); ++u) {
-    if (byz.contains(u) || !result.decisions[u].decided) continue;
-    mean += result.decisions[u].estimate;
-    ++count;
-  }
-  return count ? mean / count : 0.0;
-}
+using namespace bzc::bench;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 1024;
   const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 5;
-
-  Rng rng(seed);
-  const Graph g = hnd(n, 8, rng);
   const double logN = std::log(static_cast<double>(n));
-  const ByzantineSet none(n, {});
-  Rng placeRng = rng.fork(1);
-  const auto byz = placeByzantine(
-      g, {.kind = Placement::Random, .count = byzantineBudget(n, 0.55)}, placeRng);
+
+  const std::uint32_t trials = trialCount(5);
+  ExperimentRunner runner(threadCount());
 
   std::cout << "network: H(" << n << ",8); ln n = " << Table::num(logN, 2) << "; "
-            << byz.count() << " Byzantine nodes when present\n\n";
+            << byzantineBudget(n, 0.55) << " Byzantine nodes when present; " << trials
+            << " trials per cell on " << runner.threadCount() << " threads\n\n";
   Table table({"estimator", "benign est (ln-scale)", "under attack", "verdict"});
 
+  std::uint64_t row = 0;
+  // Builds the benign/attacked pair for one estimator; `attacked` mutates the
+  // spec into its adversarial form. Mean estimate = meanRatio * ln n.
+  const auto runPair = [&](const std::string& name, ScenarioSpec spec,
+                           const std::function<void(ScenarioSpec&)>& attacked,
+                           const std::string& verdict, int attackPrecision) {
+    spec.trials = trials;
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = Placement::None;
+    spec.name = name + "-benign";
+    spec.masterSeed = Rng(seed).fork(row++).next();
+    const ExperimentSummary benign = runScenario(runner, spec);
+    spec.placement.kind = Placement::Random;
+    spec.byzGamma = 0.55;
+    spec.name = name + "-attacked";
+    spec.masterSeed = Rng(seed).fork(row++).next();
+    attacked(spec);
+    const ExperimentSummary hit = runScenario(runner, spec);
+    table.addRow({name, Table::num(benign.meanRatio.mean * logN, 2),
+                  Table::num(hit.meanRatio.mean * logN, attackPrecision), verdict});
+  };
+
   {
-    Rng r1 = rng.fork(2);
-    const auto benign = runGeometricMax(g, none, GeometricAttack::None, {}, r1);
-    Rng r2 = rng.fork(3);
-    const auto attacked = runGeometricMax(g, byz, GeometricAttack::Inflate, {}, r2);
-    table.addRow({"geometric-max flood", Table::num(meanHonest(benign, none), 2),
-                  Table::num(meanHonest(attacked, byz), 1), "one liar owns the max"});
+    ScenarioSpec spec;
+    spec.protocol = ProtocolKind::GeometricMax;
+    runPair("geometric-max flood", spec,
+            [](ScenarioSpec& s) { s.geometricAttack = GeometricAttack::Inflate; },
+            "one liar owns the max", 1);
   }
   {
-    Rng r1 = rng.fork(4);
-    const auto benign = runSupportEstimation(g, none, SupportAttack::None, {}, r1);
-    Rng r2 = rng.fork(5);
-    const auto attacked = runSupportEstimation(g, byz, SupportAttack::ZeroInject, {}, r2);
-    table.addRow({"support estimation", Table::num(meanHonest(benign, none), 2),
-                  Table::num(meanHonest(attacked, byz), 1), "one zero owns the min"});
+    ScenarioSpec spec;
+    spec.protocol = ProtocolKind::SupportEstimation;
+    runPair("support estimation", spec,
+            [](ScenarioSpec& s) { s.supportAttack = SupportAttack::ZeroInject; },
+            "one zero owns the min", 1);
   }
   {
-    const auto benign = runSpanningTreeCount(g, none, TreeAttack::None, {});
-    const auto attacked = runSpanningTreeCount(g, byz, TreeAttack::Inflate, {});
-    table.addRow({"spanning-tree count", Table::num(meanHonest(benign, none), 2),
-                  Table::num(meanHonest(attacked, byz), 1), "one child inflates the root"});
+    ScenarioSpec spec;
+    spec.protocol = ProtocolKind::SpanningTree;
+    runPair("spanning-tree count", spec,
+            [](ScenarioSpec& s) { s.treeAttack = TreeAttack::Inflate; },
+            "one child inflates the root", 1);
   }
   {
-    auto honestAdv = makeHonestLocalAdversary();
-    LocalParams params;
-    Rng r1 = rng.fork(6);
-    const auto benign = runLocalCounting(g, none, *honestAdv, params, r1);
-    auto conflictAdv = makeConflictLocalAdversary();
-    Rng r2 = rng.fork(7);
-    const auto attacked = runLocalCounting(g, byz, *conflictAdv, params, r2);
-    table.addRow({"Algorithm 1 (LOCAL)", Table::num(meanHonest(benign.result, none), 2),
-                  Table::num(meanHonest(attacked.result, byz), 2),
-                  "stays in [dist, diam+1]"});
+    ScenarioSpec spec;
+    spec.protocol = ProtocolKind::Local;
+    runPair("Algorithm 1 (LOCAL)", spec,
+            [](ScenarioSpec& s) { s.localAdversary = &makeConflictLocalAdversary; },
+            "stays in [dist, diam+1]", 2);
   }
   {
-    BeaconLimits limits;
-    limits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
-    Rng r1 = rng.fork(8);
-    const auto benign = runBeaconCounting(g, none, BeaconAttackProfile::none(), {}, limits, r1);
-    Rng r2 = rng.fork(9);
-    const auto attacked =
-        runBeaconCounting(g, byz, BeaconAttackProfile::full(), {}, limits, r2);
-    table.addRow({"Algorithm 2 (beacons)", Table::num(meanHonest(benign.result, none), 2),
-                  Table::num(meanHonest(attacked.result, byz), 2),
-                  "constant factor, survives B(n)"});
+    ScenarioSpec spec;
+    spec.protocol = ProtocolKind::Beacon;
+    spec.beaconLimits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
+    runPair("Algorithm 2 (beacons)", spec,
+            [](ScenarioSpec& s) { s.beaconAttack = BeaconAttackProfile::full(); },
+            "constant factor, survives B(n)", 2);
   }
   table.print(std::cout);
   std::cout << "\nClassic estimators report ln-scale values; the two algorithms report phase\n"

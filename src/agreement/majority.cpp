@@ -2,11 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
-#include "agreement/random_walk.hpp"
+#include "runtime/sync_engine.hpp"
 #include "support/require.hpp"
 
 namespace bzc {
+
+namespace {
+
+// Honest message framing costs (bits). A deployed node routes answers
+// statefully (it remembers which neighbour handed it each token), so the
+// metered cost is header + origin ID + hop counter for outbound tokens and
+// header + origin ID + the sampled bit for answers. The `path`, `stream` and
+// `compromised` fields of the simulation payload are bookkeeping the real
+// protocol never puts on a wire (DESIGN.md §6).
+constexpr std::size_t kWalkTokenBits = 16 + 64 + 8;
+constexpr std::size_t kAnswerBits = 16 + 64 + 1;
+
+/// One sample query in flight. Outbound: hops one uniform edge per round,
+/// recording the reverse path. Answering: carries the sampled bit back along
+/// that path, one hop per round.
+struct WalkToken {
+  NodeId origin = kNoNode;
+  bool answering = false;
+  bool compromised = false;      ///< touched a Byzantine node (adversary taint)
+  std::uint8_t answer = 0;       ///< valid once answering
+  std::uint32_t hopsLeft = 0;    ///< outbound hops still to take
+  std::vector<NodeId> path;      ///< nodes visited after origin; reverse route
+  Rng stream;                    ///< this token's private forwarding stream
+};
+
+using Engine = SyncEngine<WalkToken>;
+
+}  // namespace
 
 AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
                                       const std::vector<double>& estimates,
@@ -16,6 +45,9 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
   BZC_REQUIRE(estimates.size() == n, "estimate vector size mismatch");
   BZC_REQUIRE(params.initialOnesFraction >= 0.0 && params.initialOnesFraction <= 1.0,
               "initial fraction out of range");
+  // walkLen = ceil(factor * max(1, L)) must stay >= 1: a token's first hop is
+  // taken at launch, so a zero-length walk has no message-passing form.
+  BZC_REQUIRE(params.walkLengthFactor > 0.0, "walk length factor must be positive");
 
   AgreementOutcome out;
   std::vector<std::uint8_t> value(n, 0);
@@ -23,6 +55,8 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
   std::vector<std::uint32_t> iters(n, 0);
   std::uint32_t maxIters = 0;
 
+  // Inputs and per-node schedules consume the caller's stream in node order
+  // (the pre-refactor draw order, so initial splits are bit-compatible).
   std::size_t ones = 0;
   std::size_t honest = 0;
   for (NodeId u = 0; u < n; ++u) {
@@ -34,37 +68,114 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     walkLen[u] = static_cast<std::uint32_t>(std::ceil(params.walkLengthFactor * L));
     iters[u] = static_cast<std::uint32_t>(std::ceil(params.iterationFactor * L));
     maxIters = std::max(maxIters, iters[u]);
-    out.logicalRounds =
-        std::max(out.logicalRounds, static_cast<Round>(iters[u] * (2 * walkLen[u] + 1)));
   }
   out.honestCount = honest;
   out.initialMajority = (2 * ones >= honest) ? 1 : 0;
 
-  std::vector<std::uint8_t> next(n, 0);
-  for (std::uint32_t it = 0; it < maxIters; ++it) {
-    // Adaptive adversary: compromised samples report the current honest
-    // minority value, the maximally disruptive answer.
-    std::size_t curOnes = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (!byz.contains(u)) curOnes += value[u];
+  // Every token forwards from its own forked stream, so walk trajectories are
+  // a pure function of (iteration, origin, sample index) — independent of
+  // delivery order and therefore reproducible under any scheduling.
+  Rng walkBase = rng.fork(0x3a1c);
+
+  Engine engine(g, byz);
+  std::size_t curOnes = ones;
+  const auto adversarialBit = [&]() -> std::uint8_t {
+    // Adaptive adversary: tainted samples report the current honest minority
+    // value, the maximally disruptive answer.
+    return (2 * curOnes >= honest) ? 0 : 1;
+  };
+
+  std::vector<std::uint32_t> tally(n, 0);
+  std::vector<std::uint8_t> answersSeen(n, 0);
+  std::vector<std::uint8_t> answersExpected(n, 0);
+
+  const auto recv = [&](NodeId v, Round, std::span<const Engine::Delivery> box) {
+    for (const Engine::Delivery& d : box) {
+      WalkToken t = d.payload;
+      if (t.answering) {
+        if (t.path.empty()) {
+          // v is the origin: the sample query resolved.
+          tally[v] += t.answer;
+          ++answersSeen[v];
+          if (t.compromised) ++out.compromisedSamples;
+          continue;
+        }
+        t.path.pop_back();
+        const NodeId next = t.path.empty() ? t.origin : t.path.back();
+        engine.unicast(v, next, std::move(t), kAnswerBits);
+        continue;
+      }
+      t.compromised = t.compromised || byz.contains(v);
+      if (t.hopsLeft == 0) {
+        // v is the walk endpoint: answer and reverse along the recorded path.
+        t.answering = true;
+        t.answer = t.compromised ? adversarialBit() : value[v];
+        BZC_ASSERT(!t.path.empty() && t.path.back() == v);
+        t.path.pop_back();
+        const NodeId next = t.path.empty() ? t.origin : t.path.back();
+        engine.unicast(v, next, std::move(t), kAnswerBits);
+      } else {
+        const auto nbrs = g.neighbors(v);
+        const NodeId next = nbrs[t.stream.uniform(nbrs.size())];
+        --t.hopsLeft;
+        t.path.push_back(next);
+        engine.unicast(v, next, std::move(t), kWalkTokenBits);
+      }
     }
-    const std::uint8_t adversarial = (2 * curOnes >= honest) ? 0 : 1;
-    next = value;
+  };
+
+  for (std::uint32_t it = 0; it < maxIters; ++it) {
+    std::uint32_t maxLen = 0;
+    bool any = false;
     for (NodeId u = 0; u < n; ++u) {
       if (byz.contains(u) || it >= iters[u]) continue;
-      int tally = value[u];
-      for (int s = 0; s < 2; ++s) {
-        const WalkSample sample = sampleViaWalk(g, byz, u, walkLen[u], rng);
-        if (sample.compromised || byz.contains(sample.endpoint)) {
-          ++out.compromisedSamples;
-          tally += adversarial;
-        } else {
-          tally += value[sample.endpoint];
-        }
-      }
-      next[u] = tally >= 2 ? 1 : 0;
+      any = true;
+      maxLen = std::max(maxLen, walkLen[u]);
     }
-    value.swap(next);
+    if (!any) break;
+
+    std::fill(tally.begin(), tally.end(), 0);
+    std::fill(answersSeen.begin(), answersSeen.end(), 0);
+    std::fill(answersExpected.begin(), answersExpected.end(), 0);
+
+    // Launch two sample tokens per active node; the first hop seeds round 1.
+    for (NodeId u = 0; u < n; ++u) {
+      if (byz.contains(u) || it >= iters[u]) continue;
+      const auto nbrs = g.neighbors(u);
+      for (std::uint32_t s = 0; s < 2; ++s) {
+        if (nbrs.empty()) continue;  // isolated node: sample falls back to own bit
+        WalkToken t;
+        t.origin = u;
+        t.hopsLeft = walkLen[u];
+        t.stream =
+            walkBase.fork((static_cast<std::uint64_t>(it) << 33) ^ (static_cast<std::uint64_t>(u) << 1) ^ s);
+        const NodeId first = nbrs[t.stream.uniform(nbrs.size())];
+        --t.hopsLeft;
+        t.path.push_back(first);
+        engine.unicast(u, first, std::move(t), kWalkTokenBits);
+        ++answersExpected[u];
+      }
+    }
+
+    // Walk out (maxLen rounds), answers back (maxLen rounds), plus the
+    // update round — the window is charged in full even for short walks.
+    const WindowResult res = engine.runWindow(2 * maxLen + 1, NoEmit{}, recv, NoEnd{},
+                                              IdlePolicy::RunFullWindow);
+    BZC_REQUIRE(res.status == WindowStatus::Completed, "agreement window cut short");
+    BZC_ASSERT(!engine.hasPending());
+
+    // Majority of {own bit, sample1, sample2}; unanswered slots (isolated
+    // nodes only) fall back to the node's own bit.
+    for (NodeId u = 0; u < n; ++u) {
+      if (byz.contains(u) || it >= iters[u]) continue;
+      BZC_ASSERT(answersSeen[u] == answersExpected[u]);
+      const std::uint32_t total =
+          static_cast<std::uint32_t>(value[u]) * (3u - answersExpected[u]) + tally[u];
+      const std::uint8_t next = total >= 2 ? 1 : 0;
+      curOnes += next;
+      curOnes -= value[u];
+      value[u] = next;
+    }
   }
 
   for (NodeId u = 0; u < n; ++u) {
@@ -74,6 +185,9 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
   out.fracAgreeing = honest > 0
                          ? static_cast<double>(out.agreeingWithMajority) / static_cast<double>(honest)
                          : 0.0;
+  out.totalRounds = static_cast<Round>(engine.round());
+  out.meter = engine.releaseMeter();
+  out.finalValues = std::move(value);
   return out;
 }
 

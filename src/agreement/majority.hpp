@@ -9,6 +9,13 @@
 // log n to size the walks and the iteration count. The Byzantine adversary
 // here is adaptive: compromised samples always return the current honest
 // minority bit, the answer that maximally slows convergence.
+//
+// The protocol runs as a message-passing workload on the SyncEngine
+// (DESIGN.md §6): each sample is a walk token that hops one edge per round,
+// records its reverse path, and carries the sampled bit back to the origin
+// hop by hop. Byzantine nodes taint every token that traverses them; tainted
+// tokens answer with the adaptive minority bit. Rounds are real engine
+// rounds and message/bit totals come from the engine's MessageMeter.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/byzantine.hpp"
+#include "sim/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace bzc {
@@ -33,8 +41,10 @@ struct AgreementOutcome {
   std::size_t agreeingWithMajority = 0;  ///< honest nodes ending on the initial honest majority
   double fracAgreeing = 0.0;
   int initialMajority = 1;
-  Round logicalRounds = 0;  ///< iterations * (2*walkLen + 1), worst node
+  Round totalRounds = 0;  ///< real SyncEngine rounds consumed by the run
   std::uint64_t compromisedSamples = 0;
+  MessageMeter meter;  ///< honest walk-token / answer traffic, engine-metered
+  std::vector<std::uint8_t> finalValues;  ///< per node; Byzantine entries 0
 
   /// Definition-style success: at least (1-beta) of honest nodes agree.
   [[nodiscard]] bool almostEverywhere(double beta) const {

@@ -19,7 +19,10 @@ PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz
 
   Rng agreeRng = rng.fork(0xa9);
   out.agreement = runMajorityAgreement(g, byz, estimates, params.agreement, agreeRng);
-  out.totalRounds = out.counting.result.totalRounds + out.agreement.logicalRounds;
+  out.totalRounds = out.counting.result.totalRounds + out.agreement.totalRounds;
+  out.totalMessages =
+      out.counting.result.meter.totalMessages() + out.agreement.meter.totalMessages();
+  out.totalBits = out.counting.result.meter.totalBits() + out.agreement.meter.totalBits();
   return out;
 }
 

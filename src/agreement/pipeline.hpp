@@ -5,7 +5,9 @@
 // runs Algorithm 2, hands every honest node its *own* decided estimate
 // (estimates differ across nodes by a constant factor — exactly the
 // situation the paper argues is fine), scales them by a safety factor, and
-// runs the sampling+majority agreement on top.
+// runs the sampling+majority agreement on top. Both stages execute on the
+// SyncEngine, so the combined round/message/bit totals are real metered
+// costs, not analytic formulas.
 #pragma once
 
 #include "agreement/majority.hpp"
@@ -24,7 +26,9 @@ struct PipelineParams {
 struct PipelineOutcome {
   BeaconOutcome counting;
   AgreementOutcome agreement;
-  Round totalRounds = 0;  ///< counting rounds + agreement logical rounds
+  Round totalRounds = 0;             ///< counting + agreement engine rounds
+  std::uint64_t totalMessages = 0;   ///< honest messages across both stages
+  std::uint64_t totalBits = 0;       ///< honest bits across both stages
 };
 
 [[nodiscard]] PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz,

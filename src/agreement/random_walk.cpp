@@ -1,23 +1,27 @@
 #include "agreement/random_walk.hpp"
 
 #include <cmath>
-#include <vector>
 
 #include "support/require.hpp"
 
 namespace bzc {
 
 WalkSample sampleViaWalk(const Graph& g, const ByzantineSet& byz, NodeId start,
-                         std::uint32_t length, Rng& rng) {
+                         std::uint32_t length, Rng& rng, std::vector<NodeId>* trace) {
   BZC_REQUIRE(start < g.numNodes(), "walk start out of range");
   WalkSample sample;
   NodeId cur = start;
   bool compromised = byz.contains(cur);
+  if (trace) {
+    trace->clear();
+    trace->push_back(cur);
+  }
   for (std::uint32_t step = 0; step < length; ++step) {
     const auto nbrs = g.neighbors(cur);
     if (nbrs.empty()) break;
     cur = nbrs[rng.uniform(nbrs.size())];
     compromised = compromised || byz.contains(cur);
+    if (trace) trace->push_back(cur);
   }
   sample.endpoint = cur;
   sample.compromised = compromised;

@@ -7,7 +7,15 @@
 // whatever value damages convergence most. Knowing (an upper bound on)
 // log n is exactly what makes the walk length safe — which is why Byzantine
 // counting is a useful preprocessing step.
+//
+// The protocol itself (agreement/majority.hpp) runs walks as token messages
+// on the SyncEngine, one hop per round; the oracle walk here is the
+// *diagnostic* form — it teleports through the whole walk in one call and is
+// used for mixing measurements (walkEndpointTvDistance, T7's walk-length
+// tuning) and for property tests, never inside a protocol round loop.
 #pragma once
+
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/byzantine.hpp"
@@ -20,9 +28,13 @@ struct WalkSample {
   bool compromised = false;  ///< walk visited a Byzantine node
 };
 
-/// Walks `length` uniform steps from `start`; flags Byzantine contact.
+/// Walks `length` uniform steps from `start`; flags Byzantine contact. When
+/// `trace` is non-null it receives every node the walk occupied, in order,
+/// starting with `start` (so the compromise flag can be audited against the
+/// actual trajectory).
 [[nodiscard]] WalkSample sampleViaWalk(const Graph& g, const ByzantineSet& byz, NodeId start,
-                                       std::uint32_t length, Rng& rng);
+                                       std::uint32_t length, Rng& rng,
+                                       std::vector<NodeId>* trace = nullptr);
 
 /// Total-variation distance between the empirical distribution of `samples`
 /// walk endpoints from `start` and the stationary distribution (degree-

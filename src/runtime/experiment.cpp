@@ -1,6 +1,7 @@
 #include "runtime/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "counting/beacon/protocol.hpp"
@@ -51,9 +52,65 @@ MaterializedTrial materializeTrial(const ScenarioSpec& spec, std::uint32_t index
   return {std::move(graph), std::move(byz), trialRng.fork(kProtocolStream)};
 }
 
+namespace {
+
+/// Shared summary shape for the two agreement-bearing protocol kinds: the
+/// agreement stage's fingerprint and extra metrics are appended onto
+/// whatever the caller already accumulated (cost totals stay the caller's
+/// responsibility — the pipeline defines its own in PipelineOutcome).
+void foldAgreementStage(TrialOutcome& outcome, const AgreementOutcome& agreement, NodeId n,
+                        double meanEstimate) {
+  const std::uint64_t stageFp = fingerprint(agreement, n);
+  outcome.resultFingerprint = fnv1a64(&stageFp, sizeof stageFp, outcome.resultFingerprint);
+  outcome.extra.assign(kAgreementExtraSlots, 0.0);
+  outcome.extra[kAgreementFracAgreeing] = agreement.fracAgreeing;
+  outcome.extra[kAgreementCompromised] = static_cast<double>(agreement.compromisedSamples);
+  outcome.extra[kAgreementRounds] = static_cast<double>(agreement.totalRounds);
+  outcome.extra[kAgreementMeanEstimate] = meanEstimate;
+}
+
+}  // namespace
+
 TrialOutcome ExperimentRunner::runTrial(const ScenarioSpec& spec, std::uint32_t index) {
   MaterializedTrial trial = materializeTrial(spec, index);
   const NodeId n = trial.graph.numNodes();
+
+  if (spec.protocol == ProtocolKind::Agreement) {
+    const double L =
+        spec.agreementEstimate > 0.0 ? spec.agreementEstimate : std::log(static_cast<double>(n));
+    const AgreementOutcome out =
+        runMajorityAgreement(trial.graph, trial.byz, L, spec.agreementParams, trial.runRng);
+    TrialOutcome outcome;
+    outcome.quality.honestCount = out.honestCount;
+    outcome.quality.decidedCount = out.honestCount;  // every honest node ends with a bit
+    outcome.quality.fracDecided = out.honestCount > 0 ? 1.0 : 0.0;
+    outcome.totalRounds = out.totalRounds;
+    outcome.totalMessages = out.meter.totalMessages();
+    outcome.totalBits = out.meter.totalBits();
+    foldAgreementStage(outcome, out, n, L);
+    return outcome;
+  }
+  if (spec.protocol == ProtocolKind::Pipeline) {
+    const PipelineOutcome out = runCountingThenAgreement(trial.graph, trial.byz, spec.beaconAttack,
+                                                         spec.pipelineParams, trial.runRng);
+    TrialOutcome outcome;
+    outcome.quality = evaluateQuality(out.counting.result, trial.byz, n, spec.window);
+    outcome.totalRounds = out.totalRounds;
+    outcome.hitRoundCap = out.counting.result.hitRoundCap;
+    outcome.totalMessages = out.totalMessages;
+    outcome.totalBits = out.totalBits;
+    outcome.resultFingerprint = fingerprint(out.counting.result, n);
+    double meanL = 0.0;
+    std::size_t decided = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (trial.byz.contains(u) || !out.counting.result.decisions[u].decided) continue;
+      meanL += spec.pipelineParams.estimateSafetyFactor * out.counting.result.decisions[u].estimate;
+      ++decided;
+    }
+    foldAgreementStage(outcome, out.agreement, n,
+                       decided > 0 ? meanL / static_cast<double>(decided) : 0.0);
+    return outcome;
+  }
 
   CountingResult result;
   switch (spec.protocol) {
@@ -93,6 +150,10 @@ TrialOutcome ExperimentRunner::runTrial(const ScenarioSpec& spec, std::uint32_t 
       result = runSpanningTreeCount(trial.graph, trial.byz, spec.treeAttack, params);
       break;
     }
+    case ProtocolKind::Agreement:
+    case ProtocolKind::Pipeline:
+      BZC_REQUIRE(false, "agreement protocols are handled before the counting switch");
+      break;
   }
 
   TrialOutcome outcome;

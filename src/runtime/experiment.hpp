@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "agreement/pipeline.hpp"
 #include "counting/baselines/geometric.hpp"
 #include "counting/baselines/spanning_tree.hpp"
 #include "counting/baselines/support_estimation.hpp"
@@ -52,7 +53,25 @@ struct GraphSpec {
 /// Materialises the graph for one trial from the trial's own stream.
 [[nodiscard]] Graph buildGraph(const GraphSpec& spec, Rng& rng);
 
-enum class ProtocolKind { Beacon, Local, GeometricMax, SupportEstimation, SpanningTree };
+enum class ProtocolKind {
+  Beacon,
+  Local,
+  GeometricMax,
+  SupportEstimation,
+  SpanningTree,
+  Agreement,  ///< sampling+majority a-e agreement with a given estimate of log n
+  Pipeline,   ///< Algorithm 2 counting feeding the agreement protocol (§1.1)
+};
+
+/// TrialOutcome::extra slots filled by the declarative Agreement and Pipeline
+/// paths (runTrial). Benches index summary.extras with these.
+enum AgreementExtraSlot : std::size_t {
+  kAgreementFracAgreeing = 0,    ///< honest fraction ending on the initial majority
+  kAgreementCompromised = 1,     ///< samples the adversary answered
+  kAgreementRounds = 2,          ///< engine rounds of the agreement stage alone
+  kAgreementMeanEstimate = 3,    ///< mean L_u the agreement stage actually used
+  kAgreementExtraSlots = 4,
+};
 
 /// Graph × placement × attack × params × trial plan. Only the fields of the
 /// selected protocol are read.
@@ -76,6 +95,13 @@ struct ScenarioSpec {
   SupportParams supportParams;
   TreeAttack treeAttack = TreeAttack::None;
   TreeParams treeParams;
+  AgreementParams agreementParams;
+  /// Uniform estimate L for ProtocolKind::Agreement; <= 0 means the oracle
+  /// ln n of the trial's graph.
+  double agreementEstimate = 0.0;
+  /// Counting and agreement stage parameters for ProtocolKind::Pipeline
+  /// (beaconAttack above selects the stage-1 adversary).
+  PipelineParams pipelineParams;
 
   QualityWindow window{0.3, 1.8};
   std::uint32_t trials = 32;

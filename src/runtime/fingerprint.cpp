@@ -43,4 +43,22 @@ std::uint64_t fingerprint(const CountingResult& result, NodeId n) {
   return h;
 }
 
+std::uint64_t fingerprint(const AgreementOutcome& outcome, NodeId n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (NodeId u = 0; u < n; ++u) {
+    h = mix(h, u < outcome.finalValues.size() ? outcome.finalValues[u] : 0);
+    h = mix(h, outcome.meter.maxMessageBits(u));
+    h = mix(h, outcome.meter.bitsSent(u));
+    h = mix(h, outcome.meter.messagesSent(u));
+  }
+  h = mix(h, outcome.honestCount);
+  h = mix(h, outcome.agreeingWithMajority);
+  h = mix(h, static_cast<std::uint64_t>(outcome.initialMajority));
+  h = mix(h, outcome.totalRounds);
+  h = mix(h, outcome.compromisedSamples);
+  h = mix(h, outcome.meter.totalMessages());
+  h = mix(h, outcome.meter.totalBits());
+  return h;
+}
+
 }  // namespace bzc

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "agreement/majority.hpp"
 #include "counting/common.hpp"
 
 namespace bzc {
@@ -19,5 +20,9 @@ namespace bzc {
 /// Hash of every per-node decision (decided, round, estimate bits), the run
 /// totals, and the per-node MessageMeter accounting for nodes [0, n).
 [[nodiscard]] std::uint64_t fingerprint(const CountingResult& result, NodeId n);
+
+/// Hash of an agreement run's observable outcome: every final bit, the
+/// convergence tallies, real engine rounds and the per-node meter state.
+[[nodiscard]] std::uint64_t fingerprint(const AgreementOutcome& outcome, NodeId n);
 
 }  // namespace bzc

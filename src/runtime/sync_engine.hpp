@@ -135,7 +135,7 @@ class SyncEngine {
       emit(static_cast<Round>(w));
       flushing_.clear();
       flushing_.swap(sendQueue_);  // sends queued from hooks target the next round
-      for (const PendingSend& p : flushing_) deliver(p);
+      for (PendingSend& p : flushing_) deliver(p);
       if (flushing_.empty() && idle == IdlePolicy::StopWhenIdle) {
         res.status = WindowStatus::Quiesced;
         return res;
@@ -169,21 +169,24 @@ class SyncEngine {
     std::size_t bits;
   };
 
-  void deliver(const PendingSend& p) {
+  void deliver(PendingSend& p) {
     if (p.to == kNoNode) {
       if (!byz_.contains(p.from)) {
         meter_.recordBroadcast(p.from, p.bits, graph_.degree(p.from));
       }
-      for (NodeId v : graph_.neighbors(p.from)) push(v, p);
+      for (NodeId v : graph_.neighbors(p.from)) push(v, p.from, Message(p.payload));
     } else {
+      // A unicast has exactly one receiver and flushing_ is discarded after
+      // the flush, so the payload can move (message types carrying buffers —
+      // walk tokens — ride this hot path).
       if (!byz_.contains(p.from)) meter_.record(p.from, p.bits);
-      push(p.to, p);
+      push(p.to, p.from, std::move(p.payload));
     }
   }
 
-  void push(NodeId v, const PendingSend& p) {
+  void push(NodeId v, NodeId from, Message&& payload) {
     if (inbox_[v].empty()) touched_.push_back(v);
-    inbox_[v].push_back({p.from, p.payload});
+    inbox_[v].push_back({from, std::move(payload)});
   }
 
   const Graph& graph_;

@@ -62,6 +62,51 @@ TEST(WalkProperties, TvDistanceDecreasesWithLength) {
   }
 }
 
+TEST(WalkProperties, TvDistanceStrictlyImprovesOnExpanderAcrossStarts) {
+  // Monotone improvement from 1 step to mixing-time-scale walks must hold
+  // from every start, not just a lucky one.
+  Rng gen(40);
+  const Graph g = hnd(512, 8, gen);
+  for (NodeId start : {0u, 17u, 255u, 511u}) {
+    Rng rng(41 + start);
+    const double tvShort = walkEndpointTvDistance(g, start, 1, 3000, rng);
+    const double tvLong = walkEndpointTvDistance(g, start, 12, 3000, rng);
+    EXPECT_LT(tvLong, tvShort) << "start " << start;
+    EXPECT_LT(tvLong, 0.25) << "start " << start;
+  }
+}
+
+TEST(WalkProperties, CompromiseFlagMatchesTraceExactly) {
+  // sampleViaWalk must mark compromise iff the walk's actual trajectory
+  // (start included) touched a Byzantine node — never spuriously, never
+  // missing a contact.
+  Rng gen(42);
+  const NodeId n = 256;
+  const Graph g = hnd(n, 8, gen);
+  PlacementSpec spec;
+  spec.kind = Placement::Random;
+  spec.count = 24;
+  Rng prng(43);
+  const auto byz = placeByzantine(g, spec, prng);
+  Rng rng(44);
+  std::vector<NodeId> trace;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto start = static_cast<NodeId>(rng.uniform(n));
+    const auto len = static_cast<std::uint32_t>(rng.uniform(12));
+    const WalkSample s = sampleViaWalk(g, byz, start, len, rng, &trace);
+    ASSERT_EQ(trace.size(), static_cast<std::size_t>(len) + 1);
+    ASSERT_EQ(trace.front(), start);
+    ASSERT_EQ(trace.back(), s.endpoint);
+    bool touched = false;
+    for (NodeId v : trace) touched = touched || byz.contains(v);
+    EXPECT_EQ(s.compromised, touched) << "trial " << trial;
+    // Consecutive trace entries must be graph edges.
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+      ASSERT_TRUE(g.hasEdge(trace[i], trace[i + 1]));
+    }
+  }
+}
+
 TEST(MajorityProperties, UnanimousInputIsStable) {
   Rng gen(7);
   const NodeId n = 256;
@@ -107,7 +152,7 @@ TEST(MajorityProperties, CloserSplitIsHarder) {
   EXPECT_GE(agreeAt(0.85) + 0.02, agreeAt(0.55));
 }
 
-TEST(MajorityProperties, LogicalRoundsScaleWithEstimate) {
+TEST(MajorityProperties, EngineRoundsScaleWithEstimate) {
   Rng gen(14);
   const NodeId n = 256;
   const Graph g = hnd(n, 8, gen);
@@ -117,7 +162,28 @@ TEST(MajorityProperties, LogicalRoundsScaleWithEstimate) {
   const auto small = runMajorityAgreement(g, none, 3.0, params, r1);
   Rng r2(15);
   const auto large = runMajorityAgreement(g, none, 12.0, params, r2);
-  EXPECT_GT(large.logicalRounds, 3 * small.logicalRounds);
+  // Real engine rounds: with a uniform estimate L the run takes
+  // ceil(2L) iterations of (2*ceil(L) + 1) rounds each.
+  EXPECT_EQ(small.totalRounds, 6u * 7u);
+  EXPECT_EQ(large.totalRounds, 24u * 25u);
+  EXPECT_GT(large.totalRounds, 3 * small.totalRounds);
+}
+
+TEST(MajorityProperties, MessageCostsScaleWithWalkTraffic) {
+  // Every sample is a token walking out and an answer walking back, all
+  // unicast and engine-metered: iterations * 2 samples/node * 2*walkLen
+  // messages per honest node (plus nothing else).
+  Rng gen(30);
+  const NodeId n = 256;
+  const Graph g = hnd(n, 8, gen);
+  const ByzantineSet none(n, {});
+  AgreementParams params;
+  Rng rng(31);
+  const double L = 4.0;  // walkLen = 4, iters = 8
+  const auto out = runMajorityAgreement(g, none, L, params, rng);
+  // 8 iterations * 256 nodes * 2 tokens * (4 out + 4 back) hops.
+  EXPECT_EQ(out.meter.totalMessages(), 8ull * 256 * 2 * 8);
+  EXPECT_GT(out.meter.totalBits(), out.meter.totalMessages());  // > 1 bit/msg
 }
 
 TEST(MajorityProperties, FrozenNodesKeepTheirBit) {

@@ -6,8 +6,10 @@
 // invalidates the goldens — re-capture deliberately, never casually.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
+#include "agreement/pipeline.hpp"
 #include "counting/baselines/geometric.hpp"
 #include "counting/baselines/spanning_tree.hpp"
 #include "counting/baselines/support_estimation.hpp"
@@ -87,6 +89,44 @@ inline std::uint64_t treeFingerprint(TreeAttack attack) {
   const ByzantineSet byz = place(g, Placement::Random, 4, 13);
   TreeParams params;
   return fingerprint(runSpanningTreeCount(g, byz, attack, params), n);
+}
+
+// The agreement goldens below pin the *SyncEngine* implementation (walk-token
+// forwarding); they were captured from it at migration time, after the
+// statistical-equivalence gates against the oracle-walk implementation
+// passed. They guard engine delivery order, token-stream derivation and
+// metering — not the pre-refactor RNG sequence, which token forwarding
+// necessarily reorders.
+
+inline std::uint64_t agreementFingerprint(std::size_t byzCount, double estimateFactor) {
+  const NodeId n = 192;
+  const Graph g = graph(n, 8, 26);
+  const ByzantineSet byz =
+      place(g, byzCount > 0 ? Placement::Random : Placement::None, byzCount, 15);
+  AgreementParams params;
+  params.initialOnesFraction = 0.7;
+  Rng rng(2025);
+  const AgreementOutcome out =
+      runMajorityAgreement(g, byz, estimateFactor * std::log(static_cast<double>(n)), params, rng);
+  return fingerprint(out, n);
+}
+
+inline std::uint64_t pipelineFingerprint(const BeaconAttackProfile& attack, std::size_t byzCount) {
+  const NodeId n = 192;
+  const Graph g = graph(n, 8, 27);
+  const ByzantineSet byz =
+      place(g, byzCount > 0 ? Placement::Random : Placement::None, byzCount, 17);
+  PipelineParams params;
+  params.agreement.initialOnesFraction = 0.7;
+  params.agreement.walkLengthFactor = 0.5;
+  params.estimateSafetyFactor = 1.5;
+  params.countingLimits.maxPhase = 8;
+  params.countingLimits.maxTotalRounds = 20'000;
+  Rng rng(4243);
+  const PipelineOutcome out = runCountingThenAgreement(g, byz, attack, params, rng);
+  const std::uint64_t countingFp = fingerprint(out.counting.result, n);
+  const std::uint64_t agreementFp = fingerprint(out.agreement, n);
+  return fnv1a64(&agreementFp, sizeof agreementFp, countingFp);
 }
 
 }  // namespace bzc::golden

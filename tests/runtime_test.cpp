@@ -61,6 +61,20 @@ TEST(GoldenMigration, LocalMatchesPreRefactorDecisions) {
   }
 }
 
+TEST(GoldenMigration, AgreementOnEngineIsPinned) {
+  // Captured from the SyncEngine walk-token implementation at migration time
+  // (see golden_scenarios.hpp for why these pin the engine, not the oracle).
+  EXPECT_EQ(golden::agreementFingerprint(0, 1.0), 0xc04be2f8613993a8ULL);
+  EXPECT_EQ(golden::agreementFingerprint(8, 1.0), 0x1ed581d04cfd8fdaULL);
+  EXPECT_EQ(golden::agreementFingerprint(8, 2.0), 0xfeb5c22bfec003a3ULL);
+}
+
+TEST(GoldenMigration, PipelineOnEngineIsPinned) {
+  EXPECT_EQ(golden::pipelineFingerprint(BeaconAttackProfile::none(), 0), 0xf702f76c8582c57bULL);
+  EXPECT_EQ(golden::pipelineFingerprint(BeaconAttackProfile::flooder(), 8),
+            0x559fbf52906663baULL);
+}
+
 TEST(GoldenMigration, BaselinesMatchPreRefactorDecisions) {
   EXPECT_EQ(golden::geometricFingerprint(GeometricAttack::None), 0x927421feaa922dafULL);
   EXPECT_EQ(golden::geometricFingerprint(GeometricAttack::Inflate), 0x444da3032ea949b1ULL);
@@ -297,6 +311,68 @@ TEST(ExperimentRunner, BeaconScenarioParallelTrialsAggregates) {
 
   ExperimentRunner serial(1);
   EXPECT_EQ(serial.run(spec).combinedFingerprint, summary.combinedFingerprint);
+}
+
+TEST(ExperimentRunner, PipelineScenarioThreadCountInvariant) {
+  // Acceptance criterion of the agreement migration: the counting->agreement
+  // pipeline, run declaratively, must produce identical per-trial results at
+  // any thread count (every stream, walk-token trajectories included, is a
+  // pure function of (masterSeed, trial index)).
+  ScenarioSpec spec;
+  spec.name = "pipeline-flooder";
+  spec.graph = {GraphKind::Hnd, 128, 8, 0.1};
+  spec.placement.kind = Placement::Random;
+  spec.placement.count = 4;
+  spec.protocol = ProtocolKind::Pipeline;
+  spec.beaconAttack = BeaconAttackProfile::flooder();
+  spec.pipelineParams.agreement.initialOnesFraction = 0.7;
+  spec.pipelineParams.agreement.walkLengthFactor = 0.5;
+  spec.pipelineParams.estimateSafetyFactor = 1.5;
+  spec.pipelineParams.countingLimits.maxPhase = 8;
+  spec.pipelineParams.countingLimits.maxTotalRounds = 20'000;
+  spec.trials = 24;
+  spec.masterSeed = 0x9a;
+
+  ExperimentSummary byThreads[3];
+  const unsigned counts[3] = {1, 2, 8};
+  for (int t = 0; t < 3; ++t) {
+    ExperimentRunner runner(counts[t]);
+    byThreads[t] = runner.run(spec);
+  }
+  ASSERT_EQ(byThreads[0].perTrial.size(), 24u);
+  for (int t = 1; t < 3; ++t) {
+    EXPECT_EQ(byThreads[0].combinedFingerprint, byThreads[t].combinedFingerprint)
+        << "pipeline diverged at " << counts[t] << " threads";
+  }
+  // The agreement-stage metrics come through the declarative extras.
+  ASSERT_EQ(byThreads[0].extras.size(), static_cast<std::size_t>(kAgreementExtraSlots));
+  EXPECT_GT(byThreads[0].extras[kAgreementFracAgreeing].mean, 0.5);
+  EXPECT_LE(byThreads[0].extras[kAgreementFracAgreeing].max, 1.0);
+  EXPECT_GT(byThreads[0].extras[kAgreementRounds].min, 0.0);
+  EXPECT_GT(byThreads[0].totalMessages.min, 0.0);
+}
+
+TEST(ExperimentRunner, AgreementScenarioThreadCountInvariant) {
+  ScenarioSpec spec;
+  spec.name = "agreement-oracle";
+  spec.graph = {GraphKind::Hnd, 192, 8, 0.1};
+  spec.placement.kind = Placement::Random;
+  spec.placement.count = 5;
+  spec.protocol = ProtocolKind::Agreement;
+  spec.agreementParams.initialOnesFraction = 0.7;
+  spec.trials = 24;
+  spec.masterSeed = 0x55;
+
+  ExperimentRunner parallel(8);
+  ExperimentRunner serial(1);
+  const ExperimentSummary a = parallel.run(spec);
+  const ExperimentSummary b = serial.run(spec);
+  EXPECT_EQ(a.combinedFingerprint, b.combinedFingerprint);
+  ASSERT_EQ(a.extras.size(), static_cast<std::size_t>(kAgreementExtraSlots));
+  // 5 Byzantine nodes at n = 192 is over the sqrt(n)/polylog budget, so
+  // convergence is partial; the invariance above is what this test pins.
+  EXPECT_GT(a.extras[kAgreementFracAgreeing].mean, 0.5);
+  EXPECT_GT(a.extras[kAgreementCompromised].mean, 0.0);
 }
 
 TEST(ExperimentRunner, MaterializeTrialIsAPureFunctionOfSpecAndIndex) {
