@@ -41,6 +41,38 @@ inline unsigned threadCount() {
   return 0;  // hardware concurrency
 }
 
+/// Network size for benches that support scaling their rows (currently T7).
+/// BZC_N overrides the bench's default — e.g. BZC_N=16384 BZC_TRIALS=48 is
+/// the token-arena perf sweep DESIGN.md §7 reports.
+inline NodeId nodeCount(NodeId defaultN) {
+  if (const char* env = std::getenv("BZC_N")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<NodeId>(v);
+  }
+  return defaultN;
+}
+
+/// CLI/env attack selection for the walk-adversary gallery (accepts both a
+/// short alias and the canonical profile name, which stays owned by
+/// src/adversary/profile.cpp).
+inline AgreementAttackProfile walkAttackProfileByName(const std::string& name) {
+  const struct {
+    const char* alias;
+    AgreementAttackProfile profile;
+  } gallery[] = {
+      {"adaptive", AgreementAttackProfile::adaptiveMinority()},
+      {"dropper", AgreementAttackProfile::dropper()},
+      {"flipper", AgreementAttackProfile::flipper()},
+      {"tamperer", AgreementAttackProfile::tamperer()},
+      {"hunter", AgreementAttackProfile::hunter()},
+  };
+  for (const auto& entry : gallery) {
+    if (name == entry.alias || name == entry.profile.name) return entry.profile;
+  }
+  BZC_REQUIRE(false, "unknown walk attack: " + name);
+  return {};
+}
+
 /// Master seed for table row `row` of bench `benchTag`. Seeds derive from the
 /// row *index*, never from row parameters: parameter-derived seeds collide
 /// when two rows share a parameter value (T7's old `Rng(900 + L*10)` gave the

@@ -10,26 +10,36 @@
 // Both stages run as message-passing protocols on the SyncEngine, so rounds
 // and message/bit totals are real metered costs. Each row aggregates R
 // independent trials (graph, placement, counting and walk-token streams all
-// forked per trial); cells show mean [min,max]. BZC_TRIALS / BZC_THREADS
-// override the defaults.
+// forked per trial); cells show mean [min,max]. BZC_TRIALS / BZC_THREADS /
+// BZC_N override the defaults (BZC_N=16384 BZC_TRIALS=48 is the token-arena
+// perf sweep reported in DESIGN.md §7).
+//
+// The second half is the walk-adversary gallery: every strategy in
+// src/adversary/ crossed with the placements the paper's discussion singles
+// out, selected purely from the ScenarioSpec (DESIGN.md §7), plus the
+// Remark 1 composition (VictimHunter × Placement::Surround) scored with
+// coalitionScore.
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "adversary/strategies.hpp"
 #include "agreement/pipeline.hpp"
 
 int main() {
   using namespace bzc;
   using namespace bzc::bench;
 
+  const NodeId n = nodeCount(1024);
+
   experimentHeader(
-      "T7 — §1.1: counting -> agreement pipeline (n = 1024, H(n,8), B = 8, adaptive adversary)",
+      "T7 — §1.1: counting -> agreement pipeline (n = " + std::to_string(n) +
+          ", H(n,8), B = 8, adaptive adversary)",
       "'agree' is the fraction of honest nodes ending on the initial honest majority bit\n"
       "after the sampling+majority protocol; 'a-e' is the fraction of trials reaching\n"
       "almost-everywhere agreement (agree >= 90%). Initial split: 70/30. Rounds and\n"
       "message totals are engine-metered, not analytic. Cells aggregate R trials.");
 
-  const NodeId n = 1024;
   const double logN = std::log(static_cast<double>(n));
   const std::uint32_t trials = trialCount(5);
   ExperimentRunner runner(threadCount());
@@ -97,5 +107,152 @@ int main() {
   shapeCheck("counting-derived estimates match the oracle (within 5%)",
              pipelineAgree >= oracleAgree - 0.05);
   shapeCheck("a too-small estimate fails", tinyAgree < 0.9);
+
+  // --- walk-adversary gallery: strategy × placement grid --------------------
+  experimentHeader(
+      "T7g — walk-adversary gallery (strategy × placement, n = " + std::to_string(n) +
+          ", B = 8, oracle ln n)",
+      "Every WalkAdversary strategy against every adversarial placement, selected\n"
+      "purely from the ScenarioSpec. 'answered' counts sample slots whose answer\n"
+      "reached its origin; dropped/flipped/misrouted/hits are the strategy's own\n"
+      "signature counters (ExperimentSummary extras).");
+
+  Table grid({"strategy", "placement", "agree", "a-e (90%)", "answered", "dropped", "flipped",
+              "misrouted", "coalition hits"});
+  const AgreementAttackProfile profiles[] = {
+      AgreementAttackProfile::adaptiveMinority(), AgreementAttackProfile::dropper(),
+      AgreementAttackProfile::flipper(),          AgreementAttackProfile::tamperer(),
+      AgreementAttackProfile::hunter(2),
+  };
+  const struct {
+    Placement kind;
+    const char* name;
+  } placements[] = {
+      {Placement::Random, "random"},
+      {Placement::Spread, "spread"},
+      {Placement::Surround, "surround"},
+  };
+  double adaptiveRandomAgree = 0;
+  double dropperRandomAgree = 0;
+  bool mechanismsFired = true;
+  for (const AgreementAttackProfile& profile : profiles) {
+    for (const auto& placement : placements) {
+      ScenarioSpec spec;
+      spec.name = std::string("t7g-") + profile.name + "-" + placement.name;
+      spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+      spec.placement.kind = placement.kind;
+      spec.placement.count = 8;
+      spec.placement.victim = 3;
+      spec.placement.moatRadius = 2;
+      spec.protocol = ProtocolKind::Agreement;
+      spec.agreementParams = agreeParams;
+      spec.agreementParams.attack = profile;
+      spec.trials = trials;
+      spec.masterSeed = rowSeed(7, row++);
+      const ExperimentSummary s = runScenario(runner, spec);
+      grid.addRow({profile.name, placement.name,
+                   distPercentCell(s.extras[kAgreementFracAgreeing]),
+                   Table::percent(aeTrialFraction(s)),
+                   Table::num(s.extras[kAgreementAnswered].mean, 0),
+                   Table::num(s.extras[kAgreementDropped].mean, 0),
+                   Table::num(s.extras[kAgreementFlipped].mean, 0),
+                   Table::num(s.extras[kAgreementMisrouted].mean, 0),
+                   Table::num(s.extras[kAgreementCoalitionHits].mean, 0)});
+      if (placement.kind == Placement::Random) {
+        if (profile.kind == WalkAttackKind::AdaptiveMinority)
+          adaptiveRandomAgree = s.extras[kAgreementFracAgreeing].mean;
+        if (profile.kind == WalkAttackKind::TokenDropper)
+          dropperRandomAgree = s.extras[kAgreementFracAgreeing].mean;
+      }
+      switch (profile.kind) {
+        case WalkAttackKind::AdaptiveMinority:
+          mechanismsFired = mechanismsFired && s.extras[kAgreementForged].min > 0;
+          break;
+        case WalkAttackKind::TokenDropper:
+          mechanismsFired = mechanismsFired && s.extras[kAgreementDropped].min > 0;
+          break;
+        case WalkAttackKind::AnswerFlipper:
+          mechanismsFired = mechanismsFired && s.extras[kAgreementFlipped].min > 0;
+          break;
+        case WalkAttackKind::PathTamperer:
+          mechanismsFired = mechanismsFired && s.extras[kAgreementMisrouted].min > 0;
+          break;
+        case WalkAttackKind::VictimHunter:
+          // Targeting is only guaranteed when the victim is actually walled
+          // in; the surround row has ~10^3 victim-area tokens crossing an
+          // 8-node moat, so zero hits would mean broken targeting.
+          if (placement.kind == Placement::Surround) {
+            mechanismsFired = mechanismsFired && s.extras[kAgreementCoalitionHits].min > 0;
+          }
+          break;
+      }
+    }
+  }
+  grid.print(std::cout);
+
+  shapeCheck("every strategy's mechanism fires under every placement", mechanismsFired);
+  shapeCheck("starving samples (dropper) is weaker than adaptive lying",
+             dropperRandomAgree >= adaptiveRandomAgree - 0.02);
+
+  // --- Remark 1 composition: VictimHunter × Placement::Surround -------------
+  // Custom-trial row (final values are needed for coalitionScore): how much
+  // of the victim's radius-2 neighbourhood each adversary flips when the
+  // victim is walled off behind a Byzantine moat.
+  experimentHeader(
+      "T7h — Remark 1: victim surrounded (B large enough to man the moat), coalition scored",
+      "coalitionScore = fraction of honest nodes within distance 2 of the victim\n"
+      "ending OFF the initial honest majority. Every sample leaving the walled-off\n"
+      "ball crosses the Byzantine boundary; the hunter poisons exactly those with\n"
+      "one coalition-locked bit (surgical: global agreement survives), while the\n"
+      "adaptive answerer at the same budget degrades the whole network.");
+  Table remark({"strategy", "agree (global)", "victim-area flipped", "coalition hits"});
+  enum : std::size_t { kScore, kHits, kAgree, kRemarkSlots };
+  double hunterScore = 0;
+  double hunterGlobalDisagree = 0;
+  for (const auto& profile :
+       {AgreementAttackProfile::adaptiveMinority(), AgreementAttackProfile::hunter(2)}) {
+    ScenarioSpec spec;
+    spec.name = std::string("t7h-") + profile.name;
+    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+    spec.placement.kind = Placement::Surround;
+    // A radius-2 boundary in H(n,8) has up to d(d-1) = 56 vertices; 64 nodes
+    // seal the moat (Remark 1 needs the boundary fully Byzantine).
+    spec.placement.count = 64;
+    spec.placement.victim = 3;
+    spec.placement.moatRadius = 2;
+    spec.trials = trials;
+    spec.masterSeed = rowSeed(7, row++);
+    const ExperimentSummary s = runScenario(runner, spec.name, trials, [&](std::uint32_t index) {
+      MaterializedTrial trial = materializeTrial(spec, index);
+      AgreementParams params = agreeParams;
+      params.attack = profile;
+      params.victim = spec.placement.victim;
+      const AgreementOutcome out = runMajorityAgreement(
+          trial.graph, trial.byz, std::log(static_cast<double>(n)), params, trial.runRng);
+      TrialOutcome t;
+      t.quality.honestCount = out.honestCount;
+      t.quality.decidedCount = out.honestCount;
+      t.quality.fracDecided = out.honestCount > 0 ? 1.0 : 0.0;
+      t.totalRounds = out.totalRounds;
+      t.totalMessages = out.meter.totalMessages();
+      t.totalBits = out.meter.totalBits();
+      t.resultFingerprint = fingerprint(out, trial.graph.numNodes());
+      t.extra.assign(kRemarkSlots, 0.0);
+      t.extra[kScore] = coalitionScore(trial.graph, trial.byz, spec.placement.victim, 2,
+                                       out.finalValues, out.initialMajority);
+      t.extra[kHits] = static_cast<double>(out.adversary.coalitionHits);
+      t.extra[kAgree] = out.fracAgreeing;
+      return t;
+    });
+    remark.addRow({profile.name, distPercentCell(s.extras[kAgree]),
+                   distPercentCell(s.extras[kScore]), Table::num(s.extras[kHits].mean, 0)});
+    if (profile.kind == WalkAttackKind::VictimHunter) {
+      hunterScore = s.extras[kScore].mean;
+      hunterGlobalDisagree = 1.0 - s.extras[kAgree].mean;
+    }
+  }
+  remark.print(std::cout);
+  shapeCheck("the hunter's damage concentrates on the victim area",
+             hunterScore >= hunterGlobalDisagree);
   return 0;
 }

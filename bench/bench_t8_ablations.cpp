@@ -11,6 +11,9 @@
 //      throttles; on a true expander it never fires (no false positives).
 //  (e) Activation scale c1 (Line 5): estimate stability across c1.
 //  (f) Phase schedule: linear (paper) vs doubling (open-problem probe).
+//  (g) Walk-adversary strength knobs (src/adversary/): agreement damage as a
+//      function of the dropper/flipper probabilities — partial-strength
+//      attacks interpolate between honest and full-strength behaviour.
 //
 // Every sub-table aggregates R trials (fresh graph, placement and protocol
 // streams per trial) on the ExperimentRunner. BZC_TRIALS / BZC_THREADS
@@ -250,6 +253,47 @@ int main() {
     }
     table.print(std::cout);
     shapeCheck("doubling stays correct within its 2x slack", doublingCorrect);
+  }
+
+  // (g) Walk-adversary strength knobs.
+  experimentHeader(
+      "T8g — walk-adversary strength knobs (agreement, n = 512, B = 16, oracle ln n)",
+      "The declarative attack profiles carry per-contact probabilities; sweeping them\n"
+      "shows each mechanism's dose-response. Answered slots shrink with the dropper's\n"
+      "probability; flip events grow with the flipper's. B = 16 is past the protocol's\n"
+      "sqrt(n)/polylog budget, so full-strength attacks visibly dent agreement.");
+  {
+    Table table({"strategy", "p", "agree", "answered", "dropped", "flipped"});
+    double answeredWeak = 0;
+    double answeredFull = 0;
+    double flippedWeak = 0;
+    double flippedFull = 0;
+    for (const bool flipper : {false, true}) {
+      for (const double p : {0.25, 1.0}) {
+        ScenarioSpec spec = baseSpec(std::string("t8g-") + (flipper ? "flipper" : "dropper") +
+                                         "-p" + Table::num(p, 2),
+                                     rowSeed(8, 8), true);
+        spec.byzGamma = 0.0;
+        spec.placement.count = 16;
+        spec.protocol = ProtocolKind::Agreement;
+        spec.agreementParams.initialOnesFraction = 0.7;
+        spec.agreementParams.attack = flipper ? AgreementAttackProfile::flipper(p)
+                                              : AgreementAttackProfile::dropper(p);
+        const auto s = runScenario(runner, spec);
+        table.addRow({flipper ? "answer-flipper" : "token-dropper", Table::num(p, 2),
+                      distPercentCell(s.extras[kAgreementFracAgreeing]),
+                      Table::num(s.extras[kAgreementAnswered].mean, 0),
+                      Table::num(s.extras[kAgreementDropped].mean, 0),
+                      Table::num(s.extras[kAgreementFlipped].mean, 0)});
+        if (!flipper) (p < 0.5 ? answeredWeak : answeredFull) = s.extras[kAgreementAnswered].mean;
+        if (flipper) (p < 0.5 ? flippedWeak : flippedFull) = s.extras[kAgreementFlipped].mean;
+      }
+    }
+    table.print(std::cout);
+    shapeCheck("the dropper knob starves more samples at full strength",
+               answeredFull < answeredWeak);
+    shapeCheck("the flipper knob flips more answers at full strength",
+               flippedFull > flippedWeak);
   }
   return 0;
 }

@@ -2,7 +2,7 @@
 // peer-to-peer network that knows nothing about its own size into
 // almost-everywhere Byzantine agreement.
 //
-//   ./p2p_agreement [n] [byzantine-count] [seed]
+//   ./p2p_agreement [n] [byzantine-count] [seed] [attack]
 //
 // Stage 1: Byzantine counting (Algorithm 2) gives every honest node a
 //          constant-factor estimate of log n — with Byzantine beacon forgery
@@ -10,6 +10,9 @@
 // Stage 2: the sampling+majority agreement protocol of [3] runs with each
 //          node using *its own* estimate for walk lengths and iteration
 //          counts. No global knowledge was ever needed.
+//
+// `attack` selects the stage-2 walk adversary (src/adversary/): adaptive
+// (default), dropper, flipper, tamperer, or hunter.
 //
 // Both stages execute as message-passing protocols on the SyncEngine; the
 // run aggregates R independent trials (BZC_TRIALS / BZC_THREADS override)
@@ -27,15 +30,18 @@ int main(int argc, char** argv) {
   const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 1024;
   const std::size_t byzCount = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
   const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 11;
+  const AgreementAttackProfile attack =
+      argc > 4 ? walkAttackProfileByName(argv[4]) : AgreementAttackProfile::adaptiveMinority();
   const double logN = std::log(static_cast<double>(n));
 
   ScenarioSpec spec;
-  spec.name = "p2p-agreement";
+  spec.name = "p2p-agreement-" + attack.name;
   spec.graph = {GraphKind::Hnd, n, 8, 0.1};
   spec.placement.kind = Placement::Random;
   spec.placement.count = byzCount;
   spec.protocol = ProtocolKind::Pipeline;
   spec.beaconAttack = BeaconAttackProfile::flooder();
+  spec.pipelineParams.agreement.attack = attack;
   spec.pipelineParams.agreement.initialOnesFraction = 0.65;
   spec.pipelineParams.agreement.walkLengthFactor = 0.5;
   spec.pipelineParams.estimateSafetyFactor = 1.5;
@@ -48,8 +54,9 @@ int main(int argc, char** argv) {
   const ExperimentSummary s = runScenario(runner, spec);
 
   std::cout << "network: H(" << n << ",8), " << byzCount
-            << " Byzantine nodes, beacon flooder active; " << s.trials
-            << " independent trials on " << runner.threadCount() << " threads\n\n";
+            << " Byzantine nodes, beacon flooder active, walk adversary: " << attack.name
+            << "; " << s.trials << " independent trials on " << runner.threadCount()
+            << " threads\n\n";
 
   std::cout << "=== stage 1: Byzantine counting (beacon flooder active) ===\n";
   std::cout << "  honest nodes decided:   " << distPercentCell(s.fracDecided) << "\n"
@@ -64,7 +71,10 @@ int main(int argc, char** argv) {
             << "  trials reaching almost-everywhere agreement (>=90%): "
             << Table::percent(aeTrialFraction(s), 0) << " of " << s.trials << "\n"
             << "  samples the adversary corrupted (mean): "
-            << Table::num(s.extras[kAgreementCompromised].mean, 0) << "\n\n";
+            << Table::num(s.extras[kAgreementCompromised].mean, 0)
+            << " (dropped " << Table::num(s.extras[kAgreementDropped].mean, 0) << ", flipped "
+            << Table::num(s.extras[kAgreementFlipped].mean, 0) << ", misrouted "
+            << Table::num(s.extras[kAgreementMisrouted].mean, 0) << ")\n\n";
 
   std::cout << "=== metered cost (counting + agreement, honest traffic only) ===\n";
   std::cout << "  total rounds:   " << Table::num(s.totalRounds.mean, 0) << " ["

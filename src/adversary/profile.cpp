@@ -1,0 +1,58 @@
+#include "adversary/profile.hpp"
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+const char* walkAttackKindName(WalkAttackKind kind) {
+  switch (kind) {
+    case WalkAttackKind::AdaptiveMinority: return "adaptive-minority";
+    case WalkAttackKind::TokenDropper: return "token-dropper";
+    case WalkAttackKind::AnswerFlipper: return "answer-flipper";
+    case WalkAttackKind::PathTamperer: return "path-tamperer";
+    case WalkAttackKind::VictimHunter: return "victim-hunter";
+  }
+  BZC_REQUIRE(false, "unknown walk attack kind");
+  return "?";
+}
+
+namespace {
+
+AgreementAttackProfile base(WalkAttackKind kind) {
+  AgreementAttackProfile profile;
+  profile.kind = kind;
+  profile.name = walkAttackKindName(kind);
+  return profile;
+}
+
+}  // namespace
+
+AgreementAttackProfile AgreementAttackProfile::adaptiveMinority() {
+  return base(WalkAttackKind::AdaptiveMinority);
+}
+
+AgreementAttackProfile AgreementAttackProfile::dropper(double probability) {
+  AgreementAttackProfile profile = base(WalkAttackKind::TokenDropper);
+  profile.dropProbability = probability;
+  return profile;
+}
+
+AgreementAttackProfile AgreementAttackProfile::flipper(double probability) {
+  AgreementAttackProfile profile = base(WalkAttackKind::AnswerFlipper);
+  profile.flipProbability = probability;
+  return profile;
+}
+
+AgreementAttackProfile AgreementAttackProfile::tamperer(double probability) {
+  AgreementAttackProfile profile = base(WalkAttackKind::PathTamperer);
+  profile.tamperProbability = probability;
+  return profile;
+}
+
+AgreementAttackProfile AgreementAttackProfile::hunter(std::uint32_t radius) {
+  AgreementAttackProfile profile = base(WalkAttackKind::VictimHunter);
+  profile.huntRadius = radius;
+  return profile;
+}
+
+}  // namespace bzc

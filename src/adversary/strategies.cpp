@@ -1,0 +1,170 @@
+#include "adversary/strategies.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+namespace {
+
+/// Strength knobs are probabilities; p >= 1 must not consume randomness so
+/// that full-strength attacks (the defaults) stay draw-free like the
+/// hardcoded adversary they replaced.
+[[nodiscard]] bool strikes(double probability, Rng& rng) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  return rng.bernoulli(probability);
+}
+
+/// The pre-refactor behaviour, bit-identical (pinned by the agreement and
+/// pipeline golden fingerprints): every traversing query is tainted, and
+/// tainted tokens answer the live honest minority bit at walk end.
+class AdaptiveMinority final : public WalkAdversary {
+ public:
+  TokenAction onQuery(const WalkContext& ctx, WalkToken& token) override {
+    (void)ctx;
+    token.compromised = true;
+    return TokenAction::forward();
+  }
+};
+
+/// Silently discards traversing queries: the origin's sample slot goes
+/// unanswered and falls back to its own bit — starving the mixing the
+/// majority dynamics relies on instead of feeding it lies.
+class TokenDropper final : public WalkAdversary {
+ public:
+  explicit TokenDropper(double dropProbability) : dropProbability_(dropProbability) {}
+
+  TokenAction onQuery(const WalkContext& ctx, WalkToken& token) override {
+    (void)token;
+    if (strikes(dropProbability_, ctx.rng)) return TokenAction::drop();
+    return TokenAction::forward();
+  }
+
+ private:
+  double dropProbability_;
+};
+
+/// Relays queries honestly (outbound traffic looks clean) and inverts the
+/// carried bit on the return path. When the walk ends on the adversary
+/// itself it answers the flip of the best guess of truth — the honest
+/// minority — via the default forgeAnswer.
+class AnswerFlipper final : public WalkAdversary {
+ public:
+  explicit AnswerFlipper(double flipProbability) : flipProbability_(flipProbability) {}
+
+  TokenAction onAnswerRelay(const WalkContext& ctx, WalkToken& token) override {
+    if (strikes(flipProbability_, ctx.rng)) {
+      token.answer ^= 1;
+      token.compromised = true;
+      ++ctx.stats.flippedAnswers;
+    }
+    return TokenAction::forward();
+  }
+
+ private:
+  double flipProbability_;
+};
+
+/// Rewrites the reverse path on the answer leg: the remaining route is
+/// discarded and the answer is shunted to a uniformly random neighbour,
+/// where it arrives with no route left and (unless that neighbour happens to
+/// be the origin) is discarded as a stray. The origin's slot goes
+/// unanswered; the answer bit itself is never touched — so a misroute does
+/// NOT mark the token compromised (a lucky self-delivery still carries the
+/// true bit), it only counts in misroutedAnswers.
+class PathTamperer final : public WalkAdversary {
+ public:
+  explicit PathTamperer(double tamperProbability) : tamperProbability_(tamperProbability) {}
+
+  TokenAction onAnswerRelay(const WalkContext& ctx, WalkToken& token) override {
+    if (!strikes(tamperProbability_, ctx.rng)) return TokenAction::forward();
+    (void)token;
+    ++ctx.stats.misroutedAnswers;
+    const auto nbrs = ctx.graph.neighbors(ctx.node);
+    BZC_ASSERT(!nbrs.empty());  // the token reached ctx.node over an edge
+    return TokenAction::redirect(nbrs[ctx.rng.uniform(nbrs.size())]);
+  }
+
+ private:
+  double tamperProbability_;
+};
+
+/// Coalition strategy for the Remark 1 scenario: only samples whose origin
+/// lies within `radius` of the victim are attacked, and every coalition
+/// member pushes the same bit — locked on the blackboard at first contact —
+/// for the whole trial. Composed with Placement::Surround the moat taints
+/// every sample leaving the victim's neighbourhood while the rest of the
+/// network sees an almost-honest adversary.
+class VictimHunter final : public WalkAdversary {
+ public:
+  VictimHunter(const Graph& g, NodeId victim, std::uint32_t radius)
+      : distToVictim_(bfsDistances(g, victim)), radius_(radius) {}
+
+  TokenAction onQuery(const WalkContext& ctx, WalkToken& token) override {
+    if (distToVictim_[token.origin] > radius_) return TokenAction::forward();
+    ctx.coalition.agreeOn(honestMinorityBit(ctx));  // first writer wins
+    if (!token.compromised) {
+      token.compromised = true;
+      ctx.coalition.recordHit();
+    }
+    return TokenAction::forward();
+  }
+
+  std::uint8_t forgeAnswer(const WalkContext& ctx, const WalkToken& token) override {
+    if (token.compromised && ctx.coalition.hasAgreedBit()) return ctx.coalition.agreedBit();
+    // Untargeted token that happened to end on a coalition node: blend in by
+    // reporting the honest majority (maximally inconspicuous).
+    return static_cast<std::uint8_t>(1 - honestMinorityBit(ctx));
+  }
+
+ private:
+  std::vector<std::uint32_t> distToVictim_;
+  std::uint32_t radius_;
+};
+
+}  // namespace
+
+std::unique_ptr<WalkAdversary> makeAdaptiveMinorityAdversary() {
+  return std::make_unique<AdaptiveMinority>();
+}
+
+std::unique_ptr<WalkAdversary> makeTokenDropperAdversary(double dropProbability) {
+  return std::make_unique<TokenDropper>(dropProbability);
+}
+
+std::unique_ptr<WalkAdversary> makeAnswerFlipperAdversary(double flipProbability) {
+  return std::make_unique<AnswerFlipper>(flipProbability);
+}
+
+std::unique_ptr<WalkAdversary> makePathTampererAdversary(double tamperProbability) {
+  return std::make_unique<PathTamperer>(tamperProbability);
+}
+
+std::unique_ptr<WalkAdversary> makeVictimHunterAdversary(const Graph& g, NodeId victim,
+                                                         std::uint32_t radius) {
+  BZC_REQUIRE(victim < g.numNodes(), "victim out of range");
+  return std::make_unique<VictimHunter>(g, victim, radius);
+}
+
+std::unique_ptr<WalkAdversary> makeWalkAdversary(const AgreementAttackProfile& profile,
+                                                 const Graph& g, const ByzantineSet& byz,
+                                                 NodeId victim) {
+  (void)byz;  // membership checks stay in the protocol; reserved for future strategies
+  switch (profile.kind) {
+    case WalkAttackKind::AdaptiveMinority: return makeAdaptiveMinorityAdversary();
+    case WalkAttackKind::TokenDropper: return makeTokenDropperAdversary(profile.dropProbability);
+    case WalkAttackKind::AnswerFlipper: return makeAnswerFlipperAdversary(profile.flipProbability);
+    case WalkAttackKind::PathTamperer:
+      return makePathTampererAdversary(profile.tamperProbability);
+    case WalkAttackKind::VictimHunter:
+      return makeVictimHunterAdversary(g, victim, profile.huntRadius);
+  }
+  BZC_REQUIRE(false, "unknown walk attack kind");
+  return nullptr;
+}
+
+}  // namespace bzc

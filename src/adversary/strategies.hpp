@@ -1,0 +1,35 @@
+// The walk-adversary strategy gallery.
+//
+// Concrete WalkAdversary behaviours live in strategies.cpp; callers go
+// through the profile-driven factory (the declarative path) or the named
+// constructors (tests that want a specific strategy object). Every strategy
+// is deterministic given ctx.rng, so trials stay pure functions of
+// (masterSeed, index) — the ExperimentRunner invariance the runtime tests
+// pin at 1/2/8 threads.
+#pragma once
+
+#include <memory>
+
+#include "adversary/profile.hpp"
+#include "adversary/walk_adversary.hpp"
+
+namespace bzc {
+
+/// Materialises one per-trial strategy instance from a profile. `victim`
+/// anchors VictimHunter targeting (the declarative path passes the
+/// ScenarioSpec placement victim). Strategies needing per-trial
+/// precomputation (BFS fields) do it here, never inside the round loop.
+[[nodiscard]] std::unique_ptr<WalkAdversary> makeWalkAdversary(
+    const AgreementAttackProfile& profile, const Graph& g, const ByzantineSet& byz,
+    NodeId victim);
+
+/// Named constructors for direct (non-declarative) use.
+[[nodiscard]] std::unique_ptr<WalkAdversary> makeAdaptiveMinorityAdversary();
+[[nodiscard]] std::unique_ptr<WalkAdversary> makeTokenDropperAdversary(double dropProbability);
+[[nodiscard]] std::unique_ptr<WalkAdversary> makeAnswerFlipperAdversary(double flipProbability);
+[[nodiscard]] std::unique_ptr<WalkAdversary> makePathTampererAdversary(double tamperProbability);
+[[nodiscard]] std::unique_ptr<WalkAdversary> makeVictimHunterAdversary(const Graph& g,
+                                                                       NodeId victim,
+                                                                       std::uint32_t radius);
+
+}  // namespace bzc

@@ -1,0 +1,62 @@
+// Arena-pooled reverse paths for walk tokens.
+//
+// A walk token used to carry its reverse path as a std::vector<NodeId>,
+// copied on every hop (recv copies the delivery payload before forwarding).
+// At n = 16k that copy dominated the agreement stage's allocation churn
+// (ROADMAP perf lever). PathArena replaces the vector with a backward-linked
+// chain of (node, prev) entries owned by one per-iteration pool: tokens carry
+// a single 32-bit PathRef, so copying a token is O(1) and a whole iteration's
+// paths amount to one grow-once buffer that is reset (capacity kept) between
+// iterations.
+//
+// Chain discipline: pushing hop targets as a walk advances leaves the token's
+// ref pointing at the node currently holding it; popping (following `prev`)
+// retraces the walk — exactly the order the answer leg needs. Refs are only
+// meaningful until the owning arena is cleared, which the agreement loop does
+// after each iteration window, when no token is in flight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/require.hpp"
+#include "support/types.hpp"
+
+namespace bzc {
+
+/// Index of a path entry inside a PathArena; kNullPath is the empty path.
+using PathRef = std::uint32_t;
+inline constexpr PathRef kNullPath = 0xffffffffu;
+
+class PathArena {
+ public:
+  /// Appends a hop: `node` was just visited, `prev` is the path up to it.
+  [[nodiscard]] PathRef push(NodeId node, PathRef prev) {
+    entries_.push_back({node, prev});
+    return static_cast<PathRef>(entries_.size() - 1);
+  }
+
+  [[nodiscard]] NodeId node(PathRef ref) const {
+    BZC_ASSERT(ref < entries_.size());
+    return entries_[ref].node;
+  }
+
+  [[nodiscard]] PathRef prev(PathRef ref) const {
+    BZC_ASSERT(ref < entries_.size());
+    return entries_[ref].prev;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Invalidates every outstanding PathRef; keeps the allocation.
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  struct Entry {
+    NodeId node;
+    PathRef prev;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bzc

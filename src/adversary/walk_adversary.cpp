@@ -1,0 +1,24 @@
+#include "adversary/walk_adversary.hpp"
+
+#include "graph/bfs.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+double coalitionScore(const Graph& g, const ByzantineSet& byz, NodeId victim,
+                      std::uint32_t radius, const std::vector<std::uint8_t>& finalValues,
+                      int initialMajority) {
+  BZC_REQUIRE(victim < g.numNodes(), "victim out of range");
+  BZC_REQUIRE(finalValues.size() == g.numNodes(), "final value vector size mismatch");
+  const std::vector<std::uint32_t> dist = bfsDistances(g, victim);
+  std::size_t near = 0;
+  std::size_t flipped = 0;
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (byz.contains(u) || dist[u] > radius) continue;
+    ++near;
+    if (finalValues[u] != static_cast<std::uint8_t>(initialMajority)) ++flipped;
+  }
+  return near > 0 ? static_cast<double>(flipped) / static_cast<double>(near) : 0.0;
+}
+
+}  // namespace bzc

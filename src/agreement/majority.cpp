@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "adversary/strategies.hpp"
 #include "runtime/sync_engine.hpp"
 #include "support/require.hpp"
 
@@ -19,19 +20,6 @@ namespace {
 // protocol never puts on a wire (DESIGN.md §6).
 constexpr std::size_t kWalkTokenBits = 16 + 64 + 8;
 constexpr std::size_t kAnswerBits = 16 + 64 + 1;
-
-/// One sample query in flight. Outbound: hops one uniform edge per round,
-/// recording the reverse path. Answering: carries the sampled bit back along
-/// that path, one hop per round.
-struct WalkToken {
-  NodeId origin = kNoNode;
-  bool answering = false;
-  bool compromised = false;      ///< touched a Byzantine node (adversary taint)
-  std::uint8_t answer = 0;       ///< valid once answering
-  std::uint32_t hopsLeft = 0;    ///< outbound hops still to take
-  std::vector<NodeId> path;      ///< nodes visited after origin; reverse route
-  Rng stream;                    ///< this token's private forwarding stream
-};
 
 using Engine = SyncEngine<WalkToken>;
 
@@ -74,51 +62,100 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
 
   // Every token forwards from its own forked stream, so walk trajectories are
   // a pure function of (iteration, origin, sample index) — independent of
-  // delivery order and therefore reproducible under any scheduling.
+  // delivery order and therefore reproducible under any scheduling. The
+  // adversary draws from its own fork for the same reason (fork() is const:
+  // neither stream perturbs the caller's sequence).
   Rng walkBase = rng.fork(0x3a1c);
+  Rng advRng = rng.fork(0x5adc);
 
   Engine engine(g, byz);
+  PathArena arena;
+  Coalition coalition;
+  const std::unique_ptr<WalkAdversary> adversary =
+      makeWalkAdversary(params.attack, g, byz, params.victim);
   std::size_t curOnes = ones;
-  const auto adversarialBit = [&]() -> std::uint8_t {
-    // Adaptive adversary: tainted samples report the current honest minority
-    // value, the maximally disruptive answer.
-    return (2 * curOnes >= honest) ? 0 : 1;
-  };
 
   std::vector<std::uint32_t> tally(n, 0);
   std::vector<std::uint8_t> answersSeen(n, 0);
   std::vector<std::uint8_t> answersExpected(n, 0);
 
-  const auto recv = [&](NodeId v, Round, std::span<const Engine::Delivery> box) {
+  const auto recv = [&](NodeId v, Round w, std::span<const Engine::Delivery> box) {
+    // The strategy sees the live honest split (the adaptive adversary is
+    // omniscient about honest state); values only commit at window end, so
+    // this is constant within an iteration.
+    const auto ctxAt = [&](NodeId at) {
+      return WalkContext{at,     w,         g,      arena, curOnes, honest,
+                         params.victim, coalition, advRng, out.adversary};
+    };
     for (const Engine::Delivery& d : box) {
-      WalkToken t = d.payload;
+      WalkToken t = d.payload;  // O(1): the reverse path lives in the arena
       if (t.answering) {
-        if (t.path.empty()) {
-          // v is the origin: the sample query resolved.
-          tally[v] += t.answer;
-          ++answersSeen[v];
-          if (t.compromised) ++out.compromisedSamples;
+        if (t.path == kNullPath) {
+          // End of the recorded route: only the origin accepts the answer
+          // (misrouted answers carry a foreign origin ID and are discarded).
+          if (t.origin == v) {
+            tally[v] += t.answer;
+            ++answersSeen[v];
+            ++out.answeredSamples;
+            if (t.compromised) ++out.compromisedSamples;
+          } else {
+            ++out.adversary.strayAnswers;
+          }
           continue;
         }
-        t.path.pop_back();
-        const NodeId next = t.path.empty() ? t.origin : t.path.back();
+        if (byz.contains(v)) {
+          const TokenAction act = adversary->onAnswerRelay(ctxAt(v), t);
+          if (act.op == TokenAction::Op::Drop) {
+            ++out.adversary.droppedAnswers;
+            continue;
+          }
+          if (act.op == TokenAction::Op::Redirect) {
+            // Redirecting abandons the recorded reverse route: the token
+            // arrives at the target with no path left and is accepted only
+            // if the target happens to be its origin.
+            BZC_ASSERT(g.hasEdge(v, act.target));
+            t.path = kNullPath;
+            engine.unicast(v, act.target, std::move(t), kAnswerBits);
+            continue;
+          }
+        }
+        BZC_ASSERT(arena.node(t.path) == v);
+        t.path = arena.prev(t.path);
+        const NodeId next = t.path == kNullPath ? t.origin : arena.node(t.path);
         engine.unicast(v, next, std::move(t), kAnswerBits);
         continue;
       }
-      t.compromised = t.compromised || byz.contains(v);
+      if (byz.contains(v)) {
+        const TokenAction act = adversary->onQuery(ctxAt(v), t);
+        BZC_ASSERT(act.op != TokenAction::Op::Redirect);  // queries follow their walk
+        if (act.op == TokenAction::Op::Drop) {
+          ++out.adversary.droppedQueries;
+          continue;
+        }
+      }
       if (t.hopsLeft == 0) {
         // v is the walk endpoint: answer and reverse along the recorded path.
         t.answering = true;
-        t.answer = t.compromised ? adversarialBit() : value[v];
-        BZC_ASSERT(!t.path.empty() && t.path.back() == v);
-        t.path.pop_back();
-        const NodeId next = t.path.empty() ? t.origin : t.path.back();
+        if (t.compromised || byz.contains(v)) {
+          // The adversary authors this answer: the token was tainted in
+          // transit, or the walk ended on a Byzantine node. Forge before
+          // marking — strategies distinguish targeted (tainted) tokens from
+          // untargeted ones that merely ended on the adversary.
+          t.answer = adversary->forgeAnswer(ctxAt(v), t);
+          t.compromised = true;
+          ++out.adversary.forgedAnswers;
+        } else {
+          t.answer = value[v];
+        }
+        BZC_ASSERT(t.path != kNullPath && arena.node(t.path) == v);
+        t.path = arena.prev(t.path);
+        const NodeId next = t.path == kNullPath ? t.origin : arena.node(t.path);
         engine.unicast(v, next, std::move(t), kAnswerBits);
       } else {
         const auto nbrs = g.neighbors(v);
         const NodeId next = nbrs[t.stream.uniform(nbrs.size())];
         --t.hopsLeft;
-        t.path.push_back(next);
+        t.path = arena.push(next, t.path);
         engine.unicast(v, next, std::move(t), kWalkTokenBits);
       }
     }
@@ -137,6 +174,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     std::fill(tally.begin(), tally.end(), 0);
     std::fill(answersSeen.begin(), answersSeen.end(), 0);
     std::fill(answersExpected.begin(), answersExpected.end(), 0);
+    arena.clear();  // no token outlives its iteration window
 
     // Launch two sample tokens per active node; the first hop seeds round 1.
     for (NodeId u = 0; u < n; ++u) {
@@ -151,7 +189,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
             walkBase.fork((static_cast<std::uint64_t>(it) << 33) ^ (static_cast<std::uint64_t>(u) << 1) ^ s);
         const NodeId first = nbrs[t.stream.uniform(nbrs.size())];
         --t.hopsLeft;
-        t.path.push_back(first);
+        t.path = arena.push(first, kNullPath);
         engine.unicast(u, first, std::move(t), kWalkTokenBits);
         ++answersExpected[u];
       }
@@ -165,12 +203,13 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     BZC_ASSERT(!engine.hasPending());
 
     // Majority of {own bit, sample1, sample2}; unanswered slots (isolated
-    // nodes only) fall back to the node's own bit.
+    // nodes, dropped queries, misrouted answers) fall back to the node's own
+    // bit — an honest node cannot tell a lost sample from one never sent.
     for (NodeId u = 0; u < n; ++u) {
       if (byz.contains(u) || it >= iters[u]) continue;
-      BZC_ASSERT(answersSeen[u] == answersExpected[u]);
+      BZC_ASSERT(answersSeen[u] <= answersExpected[u]);
       const std::uint32_t total =
-          static_cast<std::uint32_t>(value[u]) * (3u - answersExpected[u]) + tally[u];
+          static_cast<std::uint32_t>(value[u]) * (3u - answersSeen[u]) + tally[u];
       const std::uint8_t next = total >= 2 ? 1 : 0;
       curOnes += next;
       curOnes -= value[u];
@@ -186,6 +225,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
                          ? static_cast<double>(out.agreeingWithMajority) / static_cast<double>(honest)
                          : 0.0;
   out.totalRounds = static_cast<Round>(engine.round());
+  out.adversary.coalitionHits = coalition.hits();
   out.meter = engine.releaseMeter();
   out.finalValues = std::move(value);
   return out;

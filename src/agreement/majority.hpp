@@ -6,21 +6,26 @@
 // majority of {own, sample1, sample2}. O(log n) iterations converge to
 // almost-everywhere agreement on a value some good node held, provided
 // B = O(√n) and — crucially — nodes know a constant-factor upper bound L on
-// log n to size the walks and the iteration count. The Byzantine adversary
-// here is adaptive: compromised samples always return the current honest
-// minority bit, the answer that maximally slows convergence.
+// log n to size the walks and the iteration count.
 //
 // The protocol runs as a message-passing workload on the SyncEngine
 // (DESIGN.md §6): each sample is a walk token that hops one edge per round,
-// records its reverse path, and carries the sampled bit back to the origin
-// hop by hop. Byzantine nodes taint every token that traverses them; tainted
-// tokens answer with the adaptive minority bit. Rounds are real engine
+// records its reverse path in an arena pool, and carries the sampled bit
+// back to the origin hop by hop. Byzantine behaviour is pluggable
+// (src/adversary/, DESIGN.md §7): the WalkAdversary strategy selected by
+// AgreementParams::attack decides what Byzantine nodes do with traversing
+// tokens — the default AdaptiveMinority taints every traversing query and
+// answers the current honest minority bit, the answer that maximally slows
+// convergence. Sample slots whose answer never returns (dropped or misrouted
+// by the adversary) fall back to the node's own bit. Rounds are real engine
 // rounds and message/bit totals come from the engine's MessageMeter.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "adversary/profile.hpp"
+#include "adversary/walk_adversary.hpp"
 #include "graph/graph.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/metrics.hpp"
@@ -34,6 +39,12 @@ struct AgreementParams {
   double walkLengthFactor = 1.0;  ///< walk length = ceil(factor * L_u)
   double iterationFactor = 2.0;   ///< iterations  = ceil(factor * L_u)
   double initialOnesFraction = 0.7;  ///< honest inputs: fraction holding 1
+  /// Behaviour of the Byzantine set (src/adversary/). The default reproduces
+  /// the classic adaptive minority answerer bit-for-bit.
+  AgreementAttackProfile attack = AgreementAttackProfile::adaptiveMinority();
+  /// Focus node for victim-centric strategies (the declarative runner maps
+  /// ScenarioSpec placement.victim here).
+  NodeId victim = 0;
 };
 
 struct AgreementOutcome {
@@ -42,7 +53,9 @@ struct AgreementOutcome {
   double fracAgreeing = 0.0;
   int initialMajority = 1;
   Round totalRounds = 0;  ///< real SyncEngine rounds consumed by the run
-  std::uint64_t compromisedSamples = 0;
+  std::uint64_t compromisedSamples = 0;  ///< answered samples the adversary controlled
+  std::uint64_t answeredSamples = 0;     ///< sample slots whose answer reached the origin
+  AdversaryStats adversary;  ///< what the strategy did (extras-only; not fingerprinted)
   MessageMeter meter;  ///< honest walk-token / answer traffic, engine-metered
   std::vector<std::uint8_t> finalValues;  ///< per node; Byzantine entries 0
 

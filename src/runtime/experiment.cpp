@@ -67,6 +67,14 @@ void foldAgreementStage(TrialOutcome& outcome, const AgreementOutcome& agreement
   outcome.extra[kAgreementCompromised] = static_cast<double>(agreement.compromisedSamples);
   outcome.extra[kAgreementRounds] = static_cast<double>(agreement.totalRounds);
   outcome.extra[kAgreementMeanEstimate] = meanEstimate;
+  const AdversaryStats& adv = agreement.adversary;
+  outcome.extra[kAgreementAnswered] = static_cast<double>(agreement.answeredSamples);
+  outcome.extra[kAgreementDropped] =
+      static_cast<double>(adv.droppedQueries + adv.droppedAnswers);
+  outcome.extra[kAgreementFlipped] = static_cast<double>(adv.flippedAnswers);
+  outcome.extra[kAgreementMisrouted] = static_cast<double>(adv.misroutedAnswers);
+  outcome.extra[kAgreementForged] = static_cast<double>(adv.forgedAnswers);
+  outcome.extra[kAgreementCoalitionHits] = static_cast<double>(adv.coalitionHits);
 }
 
 }  // namespace
@@ -78,8 +86,12 @@ TrialOutcome ExperimentRunner::runTrial(const ScenarioSpec& spec, std::uint32_t 
   if (spec.protocol == ProtocolKind::Agreement) {
     const double L =
         spec.agreementEstimate > 0.0 ? spec.agreementEstimate : std::log(static_cast<double>(n));
+    // Victim-centric strategies target the placement's victim — the attack is
+    // selectable purely from the ScenarioSpec.
+    AgreementParams aParams = spec.agreementParams;
+    aParams.victim = spec.placement.victim;
     const AgreementOutcome out =
-        runMajorityAgreement(trial.graph, trial.byz, L, spec.agreementParams, trial.runRng);
+        runMajorityAgreement(trial.graph, trial.byz, L, aParams, trial.runRng);
     TrialOutcome outcome;
     outcome.quality.honestCount = out.honestCount;
     outcome.quality.decidedCount = out.honestCount;  // every honest node ends with a bit
@@ -91,8 +103,10 @@ TrialOutcome ExperimentRunner::runTrial(const ScenarioSpec& spec, std::uint32_t 
     return outcome;
   }
   if (spec.protocol == ProtocolKind::Pipeline) {
+    PipelineParams pParams = spec.pipelineParams;
+    pParams.agreement.victim = spec.placement.victim;
     const PipelineOutcome out = runCountingThenAgreement(trial.graph, trial.byz, spec.beaconAttack,
-                                                         spec.pipelineParams, trial.runRng);
+                                                         pParams, trial.runRng);
     TrialOutcome outcome;
     outcome.quality = evaluateQuality(out.counting.result, trial.byz, n, spec.window);
     outcome.totalRounds = out.totalRounds;

@@ -67,10 +67,21 @@ enum class ProtocolKind {
 /// paths (runTrial). Benches index summary.extras with these.
 enum AgreementExtraSlot : std::size_t {
   kAgreementFracAgreeing = 0,    ///< honest fraction ending on the initial majority
-  kAgreementCompromised = 1,     ///< samples the adversary answered
+  kAgreementCompromised = 1,     ///< answered samples the adversary controlled
   kAgreementRounds = 2,          ///< engine rounds of the agreement stage alone
   kAgreementMeanEstimate = 3,    ///< mean L_u the agreement stage actually used
-  kAgreementExtraSlots = 4,
+  // Walk-adversary diagnostics (src/adversary/): what the selected strategy
+  // actually did. kAgreementAnswered counts resolved sample slots for every
+  // profile; of the rest, only kAgreementForged is nonzero under the default
+  // adaptive-minority profile (= its taint count), and kAgreementCoalitionHits
+  // only under coalition strategies.
+  kAgreementAnswered = 4,        ///< sample slots whose answer reached its origin
+  kAgreementDropped = 5,         ///< queries + answers silently discarded
+  kAgreementFlipped = 6,         ///< answer bits inverted in transit
+  kAgreementMisrouted = 7,       ///< answers pushed off their reverse path
+  kAgreementForged = 8,          ///< answers the adversary authored at walk end
+  kAgreementCoalitionHits = 9,   ///< samples targeted via the Coalition blackboard
+  kAgreementExtraSlots = 10,
 };
 
 /// Graph × placement × attack × params × trial plan. Only the fields of the

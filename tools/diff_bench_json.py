@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Diff two directories of BENCH_*.json trajectories (JSON lines, one
+ExperimentSummary per line, as emitted by the benches under BZC_OUTPUT=json).
+
+Usage: diff_bench_json.py PREV_DIR CURR_DIR [--strict]
+
+Scenario rows are keyed by summary name. Master seeds and trial counts are
+fixed per bench, so with unchanged code every metric reproduces exactly —
+any delta is a real behaviour change (intended or not) in the commit range
+between the two runs. The report is markdown (suitable for
+$GITHUB_STEP_SUMMARY). Exit status is 0 unless --strict is given and a
+quality metric regressed beyond --quality-drop (default 0.05): the scheduled
+workflow runs non-strict so an intentional protocol change does not leave the
+cron red until the next run re-baselines.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# (json key, pretty name)
+KEY_METRICS = [
+    ("fracDecided", "frac decided"),
+    ("fracWithinWindow", "frac in window"),
+    ("totalRounds", "rounds"),
+    ("totalMessages", "messages"),
+    ("totalBits", "bits"),
+]
+QUALITY_KEYS = {"fracDecided", "fracWithinWindow"}
+
+
+def load_dir(path: Path) -> dict:
+    """name -> summary dict, from every BENCH_*.json under path."""
+    rows = {}
+    for f in sorted(path.glob("**/BENCH_*.json")):
+        for line in f.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                print(f"warning: unparseable line in {f}", file=sys.stderr)
+                continue
+            rows[row["name"]] = row
+    return rows
+
+
+def fmt(x: float) -> str:
+    return f"{x:.6g}"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("prev", type=Path)
+    ap.add_argument("curr", type=Path)
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when a quality metric drops beyond --quality-drop")
+    ap.add_argument("--quality-drop", type=float, default=0.05)
+    args = ap.parse_args()
+
+    prev = load_dir(args.prev) if args.prev.exists() else {}
+    curr = load_dir(args.curr)
+
+    if not prev:
+        print("## Bench diff\n\nNo previous artifact found — baseline run, nothing to diff.")
+        return 0
+
+    changed, added, removed, regressions = [], [], [], []
+    for name, row in sorted(curr.items()):
+        if name not in prev:
+            added.append(name)
+            continue
+        old = prev[name]
+        deltas = []
+        for key, pretty in KEY_METRICS:
+            a = old.get(key, {}).get("mean")
+            b = row.get(key, {}).get("mean")
+            if a is None or b is None or a == b:
+                continue
+            rel = (b - a) / abs(a) if a else float("inf")
+            deltas.append(f"{pretty}: {fmt(a)} → {fmt(b)} ({rel:+.2%})")
+            if key in QUALITY_KEYS and (a - b) > args.quality_drop:
+                regressions.append(f"{name}: {pretty} dropped {fmt(a)} → {fmt(b)}")
+        # Extras are positional and unnamed in the JSON (slot meaning is
+        # bench-defined; for agreement rows slot 0 is fracAgreeing — the
+        # metric fracDecided cannot see, since Agreement trials hardwire it
+        # to 1.0). Report every moved slot, and treat fraction-shaped slots
+        # (both values in [0, 1]) as quality for the regression gate.
+        old_extras = old.get("extras", [])
+        for i, slot in enumerate(row.get("extras", [])):
+            a = old_extras[i].get("mean") if i < len(old_extras) else None
+            b = slot.get("mean")
+            if a is None or b is None or a == b:
+                continue
+            deltas.append(f"extra[{i}]: {fmt(a)} → {fmt(b)}")
+            if 0.0 <= a <= 1.0 and 0.0 <= b <= 1.0 and (a - b) > args.quality_drop:
+                regressions.append(f"{name}: extra[{i}] dropped {fmt(a)} → {fmt(b)}")
+        # Fingerprint inequality alone also counts: extras are outside
+        # fingerprint(), and fingerprints can move without shifting any mean.
+        if deltas or old.get("combinedFingerprint") != row.get("combinedFingerprint"):
+            changed.append((name, deltas))
+    removed = sorted(set(prev) - set(curr))
+
+    print("## Bench diff vs previous scheduled run\n")
+    print(f"Scenarios: {len(curr)} current, {len(prev)} previous; "
+          f"{len(changed)} changed, {len(added)} new, {len(removed)} removed.\n")
+    if changed:
+        print("### Changed scenarios\n")
+        for name, deltas in changed:
+            print(f"- **{name}**")
+            for d in deltas:
+                print(f"  - {d}")
+            if not deltas:
+                print("  - fingerprint differs but every mean is identical "
+                      "(per-trial distribution moved)")
+        print()
+    if added:
+        print("### New scenarios\n")
+        for name in added:
+            print(f"- {name}")
+        print()
+    if removed:
+        print("### Removed scenarios\n")
+        for name in removed:
+            print(f"- {name}")
+        print()
+    if regressions:
+        print("### Quality regressions\n")
+        for r in regressions:
+            print(f"- {r}")
+        print()
+    if not (changed or added or removed):
+        print("Everything reproduced bit-for-bit.")
+
+    return 1 if (args.strict and regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
