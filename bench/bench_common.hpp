@@ -11,7 +11,9 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "churn/epoch_runner.hpp"
 #include "counting/common.hpp"
 #include "graph/generators.hpp"
 #include "runtime/experiment.hpp"
@@ -95,14 +97,25 @@ inline void appendJsonDist(std::ostringstream& os, const char* key, const Distri
 
 /// One ExperimentSummary as a single JSON line, written to stdout (or
 /// appended to $BZC_JSON_FILE when set) so perf trajectories (BENCH_*.json)
-/// can be tracked across PRs. No-op unless BZC_OUTPUT=json.
-inline void maybeEmitJson(const ExperimentSummary& s) {
+/// can be tracked across PRs. No-op unless BZC_OUTPUT=json. `extraNames`
+/// labels the positional extras slots (tools/diff_bench_json.py uses the
+/// labels to report and to orient lower-is-better metrics like staleness).
+inline void maybeEmitJson(const ExperimentSummary& s,
+                          const std::vector<std::string>& extraNames = {}) {
   if (!jsonOutputEnabled()) return;
   std::ostringstream os;
   os.precision(12);
   os << "{\"name\":\"" << s.name << "\",\"trials\":" << s.trials
      << ",\"cappedTrials\":" << s.cappedTrials << ",\"combinedFingerprint\":\"0x" << std::hex
      << s.combinedFingerprint << std::dec << "\",";
+  if (!extraNames.empty()) {
+    os << "\"extraNames\":[";
+    for (std::size_t i = 0; i < extraNames.size(); ++i) {
+      if (i > 0) os << ',';
+      os << '"' << extraNames[i] << '"';
+    }
+    os << "],";
+  }
   appendJsonDist(os, "fracDecided", s.fracDecided);
   os << ',';
   appendJsonDist(os, "fracWithinWindow", s.fracWithinWindow);
@@ -130,17 +143,29 @@ inline void maybeEmitJson(const ExperimentSummary& s) {
 }
 
 /// Declarative row: run spec on the runner and emit the JSON line.
-inline ExperimentSummary runScenario(ExperimentRunner& runner, const ScenarioSpec& spec) {
+inline ExperimentSummary runScenario(ExperimentRunner& runner, const ScenarioSpec& spec,
+                                     const std::vector<std::string>& extraNames = {}) {
   ExperimentSummary s = runner.run(spec);
-  maybeEmitJson(s);
+  maybeEmitJson(s, extraNames);
   return s;
+}
+
+/// Labels for the ChurnExtraSlot layout (churn-enabled scenarios).
+inline std::vector<std::string> churnExtraNames() {
+  std::vector<std::string> names;
+  names.reserve(kChurnExtraSlots);
+  for (std::size_t slot = 0; slot < kChurnExtraSlots; ++slot) {
+    names.emplace_back(churnExtraSlotName(slot));
+  }
+  return names;
 }
 
 /// Custom row: runCustom plus the JSON line.
 inline ExperimentSummary runScenario(ExperimentRunner& runner, const std::string& name,
-                                     std::uint32_t trials, const ExperimentRunner::TrialFn& fn) {
+                                     std::uint32_t trials, const ExperimentRunner::TrialFn& fn,
+                                     const std::vector<std::string>& extraNames = {}) {
   ExperimentSummary s = runner.runCustom(name, trials, fn);
-  maybeEmitJson(s);
+  maybeEmitJson(s, extraNames);
   return s;
 }
 

@@ -254,5 +254,59 @@ int main() {
   remark.print(std::cout);
   shapeCheck("the hunter's damage concentrates on the victim area",
              hunterScore >= hunterGlobalDisagree);
+
+  // --- T7i — budget-vs-damage frontier (ROADMAP open item) ------------------
+  // Sweeps the Byzantine budget B for every walk-adversary strategy at fixed
+  // n: how much damage (1 - agree) each marginal Byzantine node buys, per
+  // strategy. Emits one JSON row per (strategy, B) cell for the nightly
+  // trajectory diffs.
+  experimentHeader(
+      "T7i — budget-vs-damage frontier (n = " + std::to_string(n) +
+          ", random placement, oracle ln n, B swept)",
+      "'damage' is 1 - agree: the honest-agreement mass the strategy destroys at\n"
+      "budget B. The adaptive answerer climbs fastest (every tainted sample lies\n"
+      "consistently); droppers waste their budget (a lost sample only falls back\n"
+      "to the node's own bit). The sqrt(n) threshold the paper's agreement\n"
+      "discussion assumes sits inside this sweep's range.");
+
+  Table frontier({"strategy", "B", "agree", "a-e (90%)", "damage", "compromised", "answered"});
+  const std::size_t budgets[] = {4, 8, 16, 32, 64};
+  const std::size_t maxB = budgets[std::size(budgets) - 1];
+  double adaptiveDamage[2] = {0, 0};  // at the smallest and largest budgets
+  double dropperDamageMax = 0;
+  for (const AgreementAttackProfile& profile : profiles) {
+    for (const std::size_t b : budgets) {
+      ScenarioSpec spec;
+      spec.name = std::string("t7i-") + profile.name + "-B" + std::to_string(b);
+      spec.graph = {GraphKind::Hnd, n, 8, 0.1};
+      spec.placement.kind = Placement::Random;
+      spec.placement.count = b;
+      spec.placement.victim = 3;
+      spec.protocol = ProtocolKind::Agreement;
+      spec.agreementParams = agreeParams;
+      spec.agreementParams.attack = profile;
+      spec.trials = trials;
+      spec.masterSeed = rowSeed(7, row++);
+      const ExperimentSummary s = runScenario(runner, spec);
+      const double agree = s.extras[kAgreementFracAgreeing].mean;
+      frontier.addRow({profile.name, Table::integer(static_cast<long long>(b)),
+                       distPercentCell(s.extras[kAgreementFracAgreeing]),
+                       Table::percent(aeTrialFraction(s)), Table::percent(1.0 - agree),
+                       Table::num(s.extras[kAgreementCompromised].mean, 0),
+                       Table::num(s.extras[kAgreementAnswered].mean, 0)});
+      if (profile.kind == WalkAttackKind::AdaptiveMinority) {
+        if (b == budgets[0]) adaptiveDamage[0] = 1.0 - agree;
+        if (b == maxB) adaptiveDamage[1] = 1.0 - agree;
+      }
+      if (profile.kind == WalkAttackKind::TokenDropper && b == maxB) {
+        dropperDamageMax = 1.0 - agree;
+      }
+    }
+  }
+  frontier.print(std::cout);
+  shapeCheck("a 16x budget buys the adaptive answerer real damage",
+             adaptiveDamage[1] > adaptiveDamage[0] + 0.05);
+  shapeCheck("at the largest budget consistent lying beats starving (adaptive > dropper)",
+             adaptiveDamage[1] > dropperDamageMax);
   return 0;
 }

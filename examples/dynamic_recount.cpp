@@ -3,70 +3,124 @@
 // question of designing protocols ... when the network size is not known and
 // may even change over time").
 //
-//   ./dynamic_recount [seed]
+//   ./dynamic_recount [model] [seed]     model: steady|flash|exodus|byzantine
 //
-// The overlay grows through three epochs (churn-in of fresh peers, overlay
-// re-randomised as H(n,d) after each join wave, as self-healing overlays
-// do); each epoch simply re-runs Byzantine counting. Because the protocol
-// needs no global knowledge at all, re-estimation is a pure re-run — the
-// estimates track the growth while the Byzantine population scales with it.
+// Built on the churn subsystem (src/churn/, DESIGN.md §8): one overlay
+// evolves through epochs under the selected ChurnModel — joins splice into
+// the d-regular fabric, departures are repaired by randomized stub pairing,
+// the counting pipeline re-runs every recount epoch — instead of the old
+// hand-rolled loop that re-generated an independent H(n,d) per epoch. The
+// per-epoch table shows n(t), the live estimate, its staleness against
+// ln n(t), and the spectral gap of the *same* evolving overlay, averaged
+// over R trials (BZC_TRIALS / BZC_THREADS override).
 //
-// Each epoch aggregates R independent trials (fresh overlay, placement and
-// protocol streams per trial) on the ExperimentRunner; BZC_TRIALS /
-// BZC_THREADS override.
+// Because the protocol needs no global knowledge, re-estimation is a pure
+// re-run: the estimate tracks n(t) with no reconfiguration — and with the
+// "byzantine" model the thing growing is the adversary's budget, which is
+// why continuous recounting (and not a one-shot count) is the deployable
+// primitive.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
-#include "counting/beacon/protocol.hpp"
+#include "churn/epoch_runner.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bzc;
   using namespace bzc::bench;
-  const std::uint64_t seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 9;
+  const std::string modelArg = argc > 1 ? argv[1] : "flash";
+  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 9;
 
-  const std::uint32_t trials = trialCount(5);
+  const std::uint32_t epochs = 6;
+  ChurnSchedule schedule;
+  if (modelArg == "steady") {
+    schedule = ChurnSchedule::steady(epochs, 0.12);
+  } else if (modelArg == "flash") {
+    // One big join wave landing between recounts (recounts at 1,3,5; crowd at
+    // 4): the estimate is stale for exactly one epoch, then recovers.
+    schedule = ChurnSchedule::flashCrowd(epochs, 5.0, /*atEpoch=*/4, /*recountEvery=*/2);
+    schedule.joinRate = schedule.leaveRate = 0.02;
+  } else if (modelArg == "exodus") {
+    schedule = ChurnSchedule::massExodus(epochs, 0.6, /*atEpoch=*/3, /*recountEvery=*/2);
+    schedule.joinRate = schedule.leaveRate = 0.02;
+  } else if (modelArg == "byzantine") {
+    schedule = ChurnSchedule::byzantine(epochs, 0.08, /*rejoinBoost=*/2.0);
+  } else {
+    std::cerr << "unknown model '" << modelArg << "' (steady|flash|exodus|byzantine)\n";
+    return 1;
+  }
+
+  const NodeId n0 = 512;
+  ScenarioSpec spec;
+  spec.name = "dynamic-recount-" + modelArg;
+  spec.graph = {GraphKind::Hnd, n0, 8, 0.1};
+  spec.placement.kind = Placement::Random;
+  spec.placement.count = byzantineBudget(n0, 0.55);
+  spec.protocol = ProtocolKind::Beacon;
+  // The path tamperer keeps an active adversary in every epoch without
+  // pinning the estimate at the blacklist-exhaustion phase the way the
+  // flooder does (see F2's saturation discussion).
+  spec.beaconAttack = BeaconAttackProfile::tamperer();
+  spec.beaconLimits.maxPhase =
+      static_cast<std::uint32_t>(std::ceil(std::log(static_cast<double>(n0)))) + 6;
+  spec.churn = schedule;
+  spec.trials = trialCount(5);
+  spec.masterSeed = Rng(seed).fork(0xd1).next();
+
   ExperimentRunner runner(threadCount());
-  std::cout << "trials/epoch=" << trials << "  threads=" << runner.threadCount() << "\n\n";
+  std::cout << "model=" << churnModelKindName(schedule.kind) << "  n0=" << n0
+            << "  epochs=" << epochs << "  recount every " << schedule.recountEvery
+            << "  trials=" << spec.trials << "  threads=" << runner.threadCount() << "\n\n";
 
-  Table table({"epoch", "n", "ln n", "B", "frac decided", "est mean", "est/ln n", "rounds"});
-  double prevMean = 0.0;
+  // Collect full trajectories (thread-safe: slots are per-trial).
+  std::vector<ChurnTrialResult> details(spec.trials);
+  const ExperimentSummary s = runScenario(
+      runner, spec.name, spec.trials,
+      [&](std::uint32_t index) {
+        ChurnTrialResult r = runChurnTrialDetailed(spec, index);
+        TrialOutcome outcome = r.outcome;
+        details[index] = std::move(r);
+        return outcome;
+      },
+      churnExtraNames());
+
+  Table table({"epoch", "n(t)", "B(t)", "recount", "est mean", "ln n(t)", "staleness",
+               "drift", "spectral gap"});
   bool tracked = true;
-  // 8x growth per epoch = exactly one d=8 phase unit: visible through the
-  // integer quantisation of the decided phase.
-  NodeId n = 512;
-  for (int epoch = 1; epoch <= 3; ++epoch, n *= 8) {
-    const std::size_t b = byzantineBudget(n, 0.55);
-    ScenarioSpec spec;
-    spec.name = "recount-epoch" + std::to_string(epoch);
-    spec.graph = {GraphKind::Hnd, n, 8, 0.1};
-    spec.placement.kind = Placement::Random;
-    spec.placement.count = b;
-    spec.protocol = ProtocolKind::Beacon;
-    // The path tamperer keeps an active adversary in every epoch without
-    // pinning the estimate at the blacklist-exhaustion phase the way the
-    // flooder does (see F2's saturation discussion).
-    spec.beaconAttack = BeaconAttackProfile::tamperer();
-    spec.beaconLimits.maxPhase =
-        static_cast<std::uint32_t>(std::ceil(std::log(static_cast<double>(n)))) + 3;
-    spec.trials = trials;
-    spec.masterSeed = Rng(seed).fork(epoch).next();
-
-    const ExperimentSummary s = runScenario(runner, spec);
-    const double logN = std::log(static_cast<double>(n));
-    const double mean = s.meanRatio.mean * logN;  // meanRatio = est / ln n
-    table.addRow({Table::integer(epoch), Table::integer(n), Table::num(logN, 2),
-                  Table::integer(static_cast<long long>(b)), distPercentCell(s.fracDecided),
-                  Table::num(mean, 2), Table::num(s.meanRatio.mean, 2),
-                  distCell(s.totalRounds, 0)});
-    if (epoch > 1 && mean < prevMean + 0.4) tracked = false;
-    prevMean = mean;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    double liveN = 0, byz = 0, est = 0, stale = 0, drift = 0, gap = 0;
+    std::uint32_t recounts = 0;
+    for (const ChurnTrialResult& r : details) {
+      const EpochReport& rep = r.epochs[e];
+      liveN += rep.liveN;
+      byz += static_cast<double>(rep.byzCount);
+      est += rep.estimate;
+      stale += rep.staleness;
+      drift += rep.drift;
+      gap += rep.spectralGap;
+      recounts += rep.recounted ? 1 : 0;
+    }
+    const double R = static_cast<double>(details.size());
+    liveN /= R;
+    const double logN = std::log(liveN);
+    table.addRow({Table::integer(e + 1), Table::num(liveN, 0), Table::num(byz / R, 1),
+                  recounts > 0 ? "yes" : "-", Table::num(est / R, 2), Table::num(logN, 2),
+                  Table::num(stale / R, 3), Table::num(drift / R, 3), Table::num(gap / R, 4)});
+    if (recounts > 0 && stale / R > 0.9) tracked = false;  // a recount should re-anchor
   }
   table.print(std::cout);
-  std::cout << "\nEstimates " << (tracked ? "track" : "FAIL to track")
-            << " the 64x growth across epochs — no node ever knew n, no configuration\n"
-            << "was updated between epochs; counting is a pure function of the overlay.\n";
+
+  std::cout << "\nfinal n = " << s.extras[kChurnFinalN].mean
+            << " (x" << s.extras[kChurnGrowth].mean << ")"
+            << ", Byzantine budget x" << s.extras[kChurnByzInflation].mean
+            << ", recounts = " << s.extras[kChurnRecounts].mean
+            << ", max staleness = " << s.extras[kChurnMaxStaleness].mean << "\n";
+  std::cout << "Estimates " << (tracked ? "track" : "FAIL to track")
+            << " n(t): no node ever knew n, no configuration was updated between\n"
+            << "epochs; counting is a pure function of the live overlay.\n";
   return 0;
 }

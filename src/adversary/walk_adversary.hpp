@@ -36,7 +36,9 @@ struct WalkToken {
   std::uint8_t answer = 0;     ///< valid once answering
   std::uint32_t hopsLeft = 0;  ///< outbound hops still to take
   PathRef path = kNullPath;    ///< reverse route, arena-pooled (O(1) token copy)
-  Rng stream;                  ///< this token's private forwarding stream
+  Rng stream{};                ///< this token's private forwarding stream; the NSDMI
+                               ///< keeps the aggregate default-constructible (the
+                               ///< engine's inbox arena value-initializes slots)
 };
 
 /// Shared per-trial blackboard through which Byzantine nodes collude. The

@@ -1,0 +1,255 @@
+#include "churn/churn_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+const char* churnModelKindName(ChurnModelKind kind) {
+  switch (kind) {
+    case ChurnModelKind::None: return "none";
+    case ChurnModelKind::Steady: return "steady";
+    case ChurnModelKind::FlashCrowd: return "flash-crowd";
+    case ChurnModelKind::MassExodus: return "mass-exodus";
+    case ChurnModelKind::ByzantineChurn: return "byzantine-churn";
+  }
+  return "?";
+}
+
+ChurnSchedule ChurnSchedule::none() { return {}; }
+
+ChurnSchedule ChurnSchedule::steady(std::uint32_t epochs, double rate,
+                                    std::uint32_t recountEvery) {
+  ChurnSchedule s;
+  s.kind = ChurnModelKind::Steady;
+  s.epochs = epochs;
+  s.joinRate = rate;
+  s.leaveRate = rate;
+  s.rewireRate = rate;
+  s.recountEvery = recountEvery;
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::flashCrowd(std::uint32_t epochs, double fraction,
+                                        std::uint32_t atEpoch, std::uint32_t recountEvery) {
+  ChurnSchedule s;
+  s.kind = ChurnModelKind::FlashCrowd;
+  s.epochs = epochs;
+  s.flashFraction = fraction;
+  s.flashEpoch = atEpoch;
+  s.recountEvery = recountEvery;
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::massExodus(std::uint32_t epochs, double fraction,
+                                        std::uint32_t atEpoch, std::uint32_t recountEvery) {
+  ChurnSchedule s;
+  s.kind = ChurnModelKind::MassExodus;
+  s.epochs = epochs;
+  s.exodusFraction = fraction;
+  s.exodusEpoch = atEpoch;
+  s.recountEvery = recountEvery;
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::byzantine(std::uint32_t epochs, double honestRate,
+                                       double rejoinBoost, std::uint32_t recountEvery) {
+  ChurnSchedule s;
+  s.kind = ChurnModelKind::ByzantineChurn;
+  s.epochs = epochs;
+  s.joinRate = honestRate;
+  s.leaveRate = honestRate;
+  s.byzRejoinBoost = rejoinBoost;
+  s.recountEvery = recountEvery;
+  return s;
+}
+
+std::uint32_t poissonDraw(double lambda, Rng& rng) {
+  if (lambda <= 0.0) return 0;
+  // Knuth inversion: count uniforms until their product drops below e^-l.
+  // Split large lambda into chunks so the running product stays normal.
+  std::uint32_t total = 0;
+  while (lambda > 32.0) {
+    total += poissonDraw(32.0, rng);
+    lambda -= 32.0;
+  }
+  const double floor = std::exp(-lambda);
+  double product = 1.0;
+  std::uint32_t k = 0;
+  for (;;) {
+    product *= rng.uniformDouble();
+    if (product <= floor) return total + k;
+    ++k;
+  }
+}
+
+namespace {
+
+/// Samples `count` distinct departures from the live membership. `byzOnly`
+/// restricts to Byzantine members; `honestOnly` to honest ones. Never drains
+/// below the overlay floor (the overlay enforces it too, but sampling within
+/// the floor keeps every sampled departure applicable — models that sample
+/// twice in one epoch pass the earlier pick count as `reserved` so the
+/// combined batch still clears the floor and no event is silently refused).
+std::vector<std::uint64_t> sampleLeavers(const DynamicOverlay& overlay, std::size_t count,
+                                         bool honestOnly, bool byzOnly, Rng& rng,
+                                         std::size_t reserved = 0) {
+  std::vector<std::uint64_t> pool;
+  for (const OverlayMember& m : overlay.members()) {
+    if (honestOnly && m.byzantine) continue;
+    if (byzOnly && !m.byzantine) continue;
+    pool.push_back(m.id);
+  }
+  std::size_t headroom =
+      overlay.liveCount() > overlay.membershipFloor()
+          ? overlay.liveCount() - overlay.membershipFloor()
+          : 0;
+  headroom = headroom > reserved ? headroom - reserved : 0;
+  count = std::min({count, pool.size(), headroom});
+  if (count == 0) return {};
+  const std::vector<std::uint32_t> picks =
+      rng.sampleWithoutReplacement(static_cast<std::uint32_t>(pool.size()),
+                                   static_cast<std::uint32_t>(count));
+  std::vector<std::uint64_t> leavers;
+  leavers.reserve(count);
+  for (std::uint32_t p : picks) leavers.push_back(pool[p]);
+  return leavers;
+}
+
+/// Poisson join/leave/rewire background shared by every model. Draw order is
+/// fixed (joins, leaves, rewires) so model streams stay aligned across kinds.
+ChurnEvents steadyEvents(const DynamicOverlay& overlay, double joinRate, double leaveRate,
+                         double rewireRate, Rng& rng) {
+  ChurnEvents ev;
+  const double n = static_cast<double>(overlay.liveCount());
+  ev.honestJoins = poissonDraw(joinRate * n, rng);
+  const std::uint32_t departures = poissonDraw(leaveRate * n, rng);
+  ev.leaves = sampleLeavers(overlay, departures, /*honestOnly=*/false, /*byzOnly=*/false, rng);
+  ev.rewires = poissonDraw(rewireRate * n, rng);
+  return ev;
+}
+
+class SteadyChurn final : public ChurnModel {
+ public:
+  explicit SteadyChurn(const ChurnSchedule& s) : s_(s) {}
+  const char* name() const override { return "steady"; }
+  ChurnEvents epochEvents(const DynamicOverlay& overlay, std::uint32_t, Rng& rng) override {
+    return steadyEvents(overlay, s_.joinRate, s_.leaveRate, s_.rewireRate, rng);
+  }
+
+ private:
+  ChurnSchedule s_;
+};
+
+class FlashCrowd final : public ChurnModel {
+ public:
+  explicit FlashCrowd(const ChurnSchedule& s) : s_(s) {}
+  const char* name() const override { return "flash-crowd"; }
+  ChurnEvents epochEvents(const DynamicOverlay& overlay, std::uint32_t epoch, Rng& rng) override {
+    ChurnEvents ev = steadyEvents(overlay, s_.joinRate, s_.leaveRate, s_.rewireRate, rng);
+    if (epoch == s_.flashEpoch) {
+      ev.honestJoins += static_cast<std::uint32_t>(
+          s_.flashFraction * static_cast<double>(overlay.liveCount()));
+    }
+    return ev;
+  }
+
+ private:
+  ChurnSchedule s_;
+};
+
+class MassExodus final : public ChurnModel {
+ public:
+  explicit MassExodus(const ChurnSchedule& s) : s_(s) {}
+  const char* name() const override { return "mass-exodus"; }
+  ChurnEvents epochEvents(const DynamicOverlay& overlay, std::uint32_t epoch, Rng& rng) override {
+    ChurnEvents ev = steadyEvents(overlay, s_.joinRate, s_.leaveRate, s_.rewireRate, rng);
+    if (epoch == s_.exodusEpoch) {
+      const std::size_t wave = static_cast<std::size_t>(
+          s_.exodusFraction * static_cast<double>(overlay.liveCount()));
+      const std::vector<std::uint64_t> extra = sampleLeavers(
+          overlay, wave, /*honestOnly=*/false, /*byzOnly=*/false, rng, ev.leaves.size());
+      // Merge, dropping ids the steady background already picked (sorted
+      // copy + binary search: the wave is O(n), a linear probe per id isn't).
+      std::vector<std::uint64_t> picked = ev.leaves;
+      std::sort(picked.begin(), picked.end());
+      for (std::uint64_t id : extra) {
+        if (!std::binary_search(picked.begin(), picked.end(), id)) ev.leaves.push_back(id);
+      }
+    }
+    return ev;
+  }
+
+ private:
+  ChurnSchedule s_;
+};
+
+// The adversarial model: honest members churn steadily, while each epoch a
+// byzDepartRate fraction of Byzantine members "leave" — and for every faked
+// departure, byzRejoinBoost fresh Byzantine identities join. The blacklists
+// and placement a static analysis would pin the adversary with never see the
+// same identity twice, and with boost > 1 the effective budget B(t) grows
+// even while honest membership only drifts (the whitewashing/Sybil pressure
+// the Early-Stabilizing Counting line of work worries about).
+class ByzantineChurn final : public ChurnModel {
+ public:
+  explicit ByzantineChurn(const ChurnSchedule& s) : s_(s), rejoinCredit_(0.0) {}
+  const char* name() const override { return "byzantine-churn"; }
+  ChurnEvents epochEvents(const DynamicOverlay& overlay, std::uint32_t, Rng& rng) override {
+    ChurnEvents ev;
+    const double honest =
+        static_cast<double>(overlay.liveCount() - overlay.byzCount());
+    ev.honestJoins = poissonDraw(s_.joinRate * honest, rng);
+    const std::uint32_t honestDepartures = poissonDraw(s_.leaveRate * honest, rng);
+    ev.leaves =
+        sampleLeavers(overlay, honestDepartures, /*honestOnly=*/true, /*byzOnly=*/false, rng);
+    ev.rewires = poissonDraw(s_.rewireRate * static_cast<double>(overlay.liveCount()), rng);
+
+    // Reserving the honest departures' headroom keeps the combined batch
+    // within the overlay floor, so every sampled fake actually departs —
+    // rejoin credit is only ever granted for identities that really left.
+    const std::size_t fakeDepartures = static_cast<std::size_t>(
+        s_.byzDepartRate * static_cast<double>(overlay.byzCount()));
+    std::vector<std::uint64_t> fakes = sampleLeavers(
+        overlay, fakeDepartures, /*honestOnly=*/false, /*byzOnly=*/true, rng, ev.leaves.size());
+    ev.leaves.insert(ev.leaves.end(), fakes.begin(), fakes.end());
+    // Fractional boost accumulates across epochs so e.g. 1.5 alternates
+    // between 1 and 2 rejoins per departure instead of truncating to 1.
+    rejoinCredit_ += s_.byzRejoinBoost * static_cast<double>(fakes.size());
+    ev.byzJoins = static_cast<std::uint32_t>(rejoinCredit_);
+    rejoinCredit_ -= static_cast<double>(ev.byzJoins);
+    return ev;
+  }
+
+ private:
+  ChurnSchedule s_;
+  double rejoinCredit_;
+};
+
+}  // namespace
+
+std::unique_ptr<ChurnModel> makeChurnModel(const ChurnSchedule& schedule) {
+  switch (schedule.kind) {
+    case ChurnModelKind::None: break;
+    case ChurnModelKind::Steady: return std::make_unique<SteadyChurn>(schedule);
+    case ChurnModelKind::FlashCrowd: return std::make_unique<FlashCrowd>(schedule);
+    case ChurnModelKind::MassExodus: return std::make_unique<MassExodus>(schedule);
+    case ChurnModelKind::ByzantineChurn: return std::make_unique<ByzantineChurn>(schedule);
+  }
+  BZC_REQUIRE(false, "makeChurnModel: schedule has no model kind");
+  return nullptr;
+}
+
+void applyChurnEvents(DynamicOverlay& overlay, const ChurnEvents& events, Rng& rng) {
+  // Fixed application order (leaves, joins, rewires, repair): the overlay
+  // trajectory must be a pure function of (initial state, events, stream).
+  for (std::uint64_t id : events.leaves) overlay.leave(id, rng);
+  for (std::uint32_t j = 0; j < events.honestJoins; ++j) overlay.join(false, rng);
+  for (std::uint32_t j = 0; j < events.byzJoins; ++j) overlay.join(true, rng);
+  for (std::uint32_t r = 0; r < events.rewires; ++r) overlay.rewire(rng);
+  overlay.repairToRegular(rng);
+}
+
+}  // namespace bzc

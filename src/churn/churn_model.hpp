@@ -1,0 +1,72 @@
+// ChurnModel: pluggable per-epoch membership dynamics.
+//
+// Mirrors the WalkAdversary subsystem (src/adversary/): behaviour is a
+// strategy object materialised per trial from a declarative ChurnSchedule,
+// never a protocol edit. A model inspects the live overlay and emits one
+// batch of membership/edge events per epoch; the EpochRunner applies the
+// batch through DynamicOverlay and then repairs to d-regularity, so every
+// epoch's graph is a valid input for the existing protocol stack.
+//
+// Gallery:
+//  - SteadyChurn:    Poisson(joinRate*n) honest joins, Poisson(leaveRate*n)
+//                    departures, Poisson(rewireRate*n) edge swaps — the
+//                    drifting-membership baseline of the paper's §1 setting.
+//  - FlashCrowd:     steady background plus one join spike (flashFraction*n
+//                    fresh honest peers) at flashEpoch.
+//  - MassExodus:     steady background plus one departure wave
+//                    (exodusFraction of the membership) at exodusEpoch.
+//  - ByzantineChurn: honest members churn steadily while Byzantine members
+//                    fake departures and rejoin with fresh identities
+//                    (byzRejoinBoost per faked departure) — the adversary
+//                    converts churn into budget inflation, composing with
+//                    whatever src/adversary/ strategy the scenario selected.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "churn/dynamic_overlay.hpp"
+#include "churn/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace bzc {
+
+/// One epoch's membership/edge event batch. Leaves name live global ids;
+/// joins are counts (the overlay assigns fresh ids at application time).
+struct ChurnEvents {
+  std::uint32_t honestJoins = 0;
+  std::uint32_t byzJoins = 0;
+  std::vector<std::uint64_t> leaves;
+  std::uint32_t rewires = 0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return honestJoins == 0 && byzJoins == 0 && leaves.empty() && rewires == 0;
+  }
+};
+
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Events for `epoch` (>= 2; epoch 1 is the initial overlay, no events).
+  /// The EpochRunner constructs one model per trial and calls epochs in
+  /// order with streams forked from (masterSeed, trial, epoch); models may
+  /// carry state across those calls (ByzantineChurn accrues fractional
+  /// rejoin credit), so the determinism unit is the whole trial trajectory,
+  /// not an individual epoch — replays must start from epoch 2.
+  [[nodiscard]] virtual ChurnEvents epochEvents(const DynamicOverlay& overlay,
+                                                std::uint32_t epoch, Rng& rng) = 0;
+};
+
+/// Materialises the model a schedule names. Requires kind != None.
+[[nodiscard]] std::unique_ptr<ChurnModel> makeChurnModel(const ChurnSchedule& schedule);
+
+/// Applies one event batch: leaves, joins (honest then Byzantine), rewires,
+/// then repairs to d-regularity. Draws from `rng` in that fixed order.
+void applyChurnEvents(DynamicOverlay& overlay, const ChurnEvents& events, Rng& rng);
+
+/// Poisson(lambda) draw by Knuth inversion (exact, portable; O(lambda)).
+[[nodiscard]] std::uint32_t poissonDraw(double lambda, Rng& rng);
+
+}  // namespace bzc

@@ -1,0 +1,240 @@
+#include "churn/dynamic_overlay.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}  // namespace
+
+DynamicOverlay::DynamicOverlay(const Graph& initial, const ByzantineSet& byz, NodeId targetDegree)
+    : targetDegree_(targetDegree) {
+  const NodeId n = initial.numNodes();
+  BZC_REQUIRE(byz.numNodes() == n, "byzantine set size mismatch");
+  BZC_REQUIRE(targetDegree >= 2 && targetDegree % 2 == 0,
+              "overlay repair needs an even target degree >= 2");
+  BZC_REQUIRE(n > targetDegree + 2, "initial overlay below the membership floor");
+  // Repair pulls degrees *up* to the target, never down: churn needs a
+  // regular-family seed graph (Hnd / configuration model), not e.g. a
+  // rewired small world whose degrees straddle the target.
+  BZC_REQUIRE(initial.maxDegree() <= targetDegree,
+              "initial overlay degree exceeds the repair target");
+  members_.reserve(n);
+  degree_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    members_.push_back({u, byz.contains(u)});
+    degree_.push_back(initial.degree(u));
+    if (byz.contains(u)) ++byzCount_;
+  }
+  nextId_ = n;
+  edges_.reserve(initial.numEdges());
+  for (const auto& [u, v] : initial.edgeList()) edges_.emplace_back(u, v);
+}
+
+std::size_t DynamicOverlay::indexOf(std::uint64_t id) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), id,
+                                   [](const OverlayMember& m, std::uint64_t x) { return m.id < x; });
+  if (it == members_.end() || it->id != id) return kNpos;
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+bool DynamicOverlay::isLive(std::uint64_t id) const { return indexOf(id) != kNpos; }
+
+NodeId DynamicOverlay::degreeOf(std::uint64_t id) const {
+  const std::size_t i = indexOf(id);
+  BZC_REQUIRE(i != kNpos, "degreeOf: id not live");
+  return degree_[i];
+}
+
+void DynamicOverlay::addEdge(std::uint64_t a, std::uint64_t b) {
+  BZC_ASSERT(a != b);
+  edges_.emplace_back(a, b);
+  ++degree_[indexOf(a)];
+  ++degree_[indexOf(b)];
+}
+
+void DynamicOverlay::removeEdgeAt(std::size_t index) {
+  const auto [a, b] = edges_[index];
+  --degree_[indexOf(a)];
+  --degree_[indexOf(b)];
+  edges_[index] = edges_.back();
+  edges_.pop_back();
+}
+
+bool DynamicOverlay::spliceInto(std::uint64_t node, Rng& rng) {
+  // Replace a random edge (a,b), a,b != node, with (a,node)+(node,b): the
+  // newcomer gains two stubs, a and b keep their degrees.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (edges_.empty()) return false;
+    const std::size_t e = static_cast<std::size_t>(rng.uniform(edges_.size()));
+    const auto [a, b] = edges_[e];
+    if (a == node || b == node) continue;
+    removeEdgeAt(e);
+    addEdge(a, node);
+    addEdge(node, b);
+    return true;
+  }
+  // Dense incidence (tiny overlays): fall back to a linear scan.
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].first == node || edges_[e].second == node) continue;
+    const auto [a, b] = edges_[e];
+    removeEdgeAt(e);
+    addEdge(a, node);
+    addEdge(node, b);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t DynamicOverlay::join(bool byzantine, Rng& rng) {
+  const std::uint64_t id = nextId_++;
+  const auto it = std::lower_bound(members_.begin(), members_.end(), id,
+                                   [](const OverlayMember& m, std::uint64_t x) { return m.id < x; });
+  const std::size_t pos = static_cast<std::size_t>(it - members_.begin());
+  members_.insert(it, {id, byzantine});
+  degree_.insert(degree_.begin() + static_cast<std::ptrdiff_t>(pos), 0);
+  if (byzantine) ++byzCount_;
+
+  // First hand the newcomer to nodes already missing stubs (repairs earlier
+  // departures for free), in a randomised order over the deficit set.
+  std::vector<std::uint64_t> deficits;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].id != id && degree_[i] < targetDegree_) deficits.push_back(members_[i].id);
+  }
+  rng.shuffle(deficits);
+  for (std::uint64_t partner : deficits) {
+    if (degreeOf(id) >= targetDegree_) break;
+    addEdge(id, partner);
+  }
+  // Remaining stubs come in pairs via edge splicing.
+  while (degreeOf(id) + 1 < targetDegree_) {
+    if (!spliceInto(id, rng)) break;
+  }
+  // An odd leftover stub (deficit filling consumed an odd count) pairs with
+  // one more splice half… impossible; leave it as a deficit for
+  // repairToRegular, which the epoch loop always runs after the event batch.
+  return id;
+}
+
+bool DynamicOverlay::leave(std::uint64_t id, Rng& rng) {
+  if (liveCount() <= membershipFloor()) return false;
+  const std::size_t pos = indexOf(id);
+  if (pos == kNpos) return false;
+
+  // Collect and delete the incident edges, freeing one stub per neighbour.
+  // The full-edge-list sweep is O(m) per departure — fine at the overlay
+  // sizes the churn benches run (n <= a few k; protocol recounts dominate),
+  // quadratic for mass departures at 64k+: the ROADMAP names an
+  // incidence-indexed overlay as the lever if churn sweeps ever scale there.
+  std::vector<std::uint64_t> stubs;
+  stubs.reserve(degree_[pos]);
+  for (std::size_t e = 0; e < edges_.size();) {
+    if (edges_[e].first == id || edges_[e].second == id) {
+      stubs.push_back(edges_[e].first == id ? edges_[e].second : edges_[e].first);
+      removeEdgeAt(e);  // swap-pop: re-examine index e
+    } else {
+      ++e;
+    }
+  }
+  if (members_[pos].byzantine) --byzCount_;
+  members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(pos));
+  degree_.erase(degree_.begin() + static_cast<std::ptrdiff_t>(pos));
+
+  pairStubs(stubs, rng);
+  return true;
+}
+
+void DynamicOverlay::pairStubs(std::vector<std::uint64_t>& stubs, Rng& rng) {
+  rng.shuffle(stubs);
+  while (stubs.size() >= 2) {
+    const std::uint64_t a = stubs.back();
+    stubs.pop_back();
+    // Find a partner that is not `a` (parallel edges are fine — the H(n,d)
+    // family is a multigraph — but self-loops are not).
+    std::size_t partner = kNpos;
+    for (std::size_t i = stubs.size(); i-- > 0;) {
+      if (stubs[i] != a) {
+        partner = i;
+        break;
+      }
+    }
+    if (partner == kNpos) break;  // every remaining stub is on `a`: strand them
+    const std::uint64_t b = stubs[partner];
+    stubs[partner] = stubs.back();
+    stubs.pop_back();
+    addEdge(a, b);
+  }
+  // Any strands stay as degree deficits; repairToRegular resolves them.
+}
+
+void DynamicOverlay::rewire(Rng& rng) {
+  if (edges_.size() < 2) return;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::size_t i = static_cast<std::size_t>(rng.uniform(edges_.size()));
+    const std::size_t j = static_cast<std::size_t>(rng.uniform(edges_.size()));
+    if (i == j) continue;
+    const auto [a, b] = edges_[i];
+    const auto [c, d] = edges_[j];
+    if (a == d || c == b) continue;  // swap would create a self-loop
+    edges_[i] = {a, d};
+    edges_[j] = {c, b};
+    return;  // degrees unchanged: every endpoint keeps one stub per edge
+  }
+}
+
+std::size_t DynamicOverlay::degreeDeficit() const {
+  std::size_t deficit = 0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    BZC_ASSERT(degree_[i] <= targetDegree_);
+    deficit += targetDegree_ - degree_[i];
+  }
+  return deficit;
+}
+
+void DynamicOverlay::repairToRegular(Rng& rng) {
+  // Gather one stub per missing degree unit and pair across distinct nodes.
+  std::vector<std::uint64_t> stubs;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (NodeId k = degree_[i]; k < targetDegree_; ++k) stubs.push_back(members_[i].id);
+  }
+  if (stubs.empty()) return;
+  pairStubs(stubs, rng);
+  // pairStubs can strand stubs only when they all sit on one node; with even
+  // d the strand count is even, so splicing (two stubs per splice) finishes.
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    while (degree_[i] + 1 < targetDegree_) {
+      if (!spliceInto(members_[i].id, rng)) return;  // overlay too small to splice
+    }
+  }
+  BZC_ASSERT(degreeDeficit() == 0);
+}
+
+OverlaySnapshot DynamicOverlay::snapshot() const {
+  const NodeId n = static_cast<NodeId>(members_.size());
+  OverlaySnapshot snap;
+  snap.denseToId.reserve(n);
+  std::vector<NodeId> byzDense;
+  for (NodeId dense = 0; dense < n; ++dense) {
+    snap.denseToId.push_back(members_[dense].id);
+    if (members_[dense].byzantine) byzDense.push_back(dense);
+  }
+  std::vector<std::pair<NodeId, NodeId>> denseEdges;
+  denseEdges.reserve(edges_.size());
+  for (const auto& [a, b] : edges_) {
+    const std::size_t ia = indexOf(a);
+    const std::size_t ib = indexOf(b);
+    BZC_ASSERT(ia != kNpos && ib != kNpos);
+    denseEdges.emplace_back(static_cast<NodeId>(ia), static_cast<NodeId>(ib));
+  }
+  // Graph's CSR form is canonical in the edge *multiset* (adjacency is
+  // sorted per node), so snapshot equality only needs membership+edge
+  // equality — the zero-churn identity tests rely on this.
+  snap.graph = Graph(n, denseEdges);
+  snap.byz = ByzantineSet(n, std::move(byzDense));
+  return snap;
+}
+
+}  // namespace bzc

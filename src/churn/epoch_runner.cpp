@@ -1,0 +1,217 @@
+#include "churn/epoch_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "churn/churn_model.hpp"
+#include "churn/dynamic_overlay.hpp"
+#include "graph/expansion.hpp"
+#include "runtime/fingerprint.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+namespace {
+
+// Churn stream tags, forked per (masterSeed, trial, epoch); arbitrary but
+// fixed forever, like the kGraphStream family in experiment.cpp. Epoch 1's
+// protocol stream is NOT here: it is materializeTrial's own kProtocolStream
+// fork, which is what makes zero-churn runs bit-identical to static ones.
+constexpr std::uint64_t kChurnEventStream = 0xc4e0;
+constexpr std::uint64_t kChurnRepairStream = 0xc4e1;
+constexpr std::uint64_t kChurnGapStream = 0xc4e2;
+constexpr std::uint64_t kChurnRecountStream = 0xc4e3;
+
+constexpr unsigned kGapIterations = 32;  ///< power-iteration depth for the drift probe
+
+/// ln-scale estimate a recount handed the honest nodes, from the protocol
+/// family's own reporting: counting protocols expose mean L_u / ln n through
+/// the quality summary; the agreement path reports the mean L it ran with.
+double recountEstimate(const ScenarioSpec& spec, const TrialOutcome& outcome, double trueLogN) {
+  if (spec.protocol == ProtocolKind::Agreement) {
+    return outcome.extra.empty() ? trueLogN : outcome.extra[kAgreementMeanEstimate];
+  }
+  return outcome.quality.meanRatio * trueLogN;
+}
+
+double agreementFraction(const ScenarioSpec& spec, const TrialOutcome& outcome) {
+  const bool hasAgreement =
+      spec.protocol == ProtocolKind::Agreement || spec.protocol == ProtocolKind::Pipeline;
+  if (!hasAgreement || outcome.extra.size() <= kAgreementFracAgreeing) return 0.0;
+  return outcome.extra[kAgreementFracAgreeing];
+}
+
+}  // namespace
+
+const char* churnExtraSlotName(std::size_t slot) {
+  switch (slot) {
+    case kChurnEpochs: return "epochs";
+    case kChurnRecounts: return "recounts";
+    case kChurnFinalN: return "finalN";
+    case kChurnGrowth: return "growth";
+    case kChurnJoins: return "joins";
+    case kChurnLeaves: return "leaves";
+    case kChurnRewires: return "rewires";
+    case kChurnFinalByz: return "finalByz";
+    case kChurnByzInflation: return "byzInflation";
+    case kChurnMeanStaleness: return "meanStaleness";
+    case kChurnMaxStaleness: return "maxStaleness";
+    case kChurnMeanDrift: return "meanDrift";
+    case kChurnMaxDrift: return "maxDrift";
+    case kChurnMeanGap: return "meanGap";
+    case kChurnGapDrift: return "gapDrift";
+    case kChurnLastAgree: return "lastAgree";
+  }
+  return "?";
+}
+
+ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t index) {
+  BZC_REQUIRE(spec.churn.enabled(), "runChurnTrial needs an enabled ChurnSchedule");
+  BZC_REQUIRE(spec.churn.epochs >= 1, "churn schedule needs at least one epoch");
+  BZC_REQUIRE(spec.churn.recountEvery >= 1, "recount cadence must be >= 1");
+
+  // Epoch 1 is exactly the static trial: same graph, placement and protocol
+  // streams. Later epochs fork their own streams per (trial, epoch) below.
+  MaterializedTrial initial = materializeTrial(spec, index);
+  const Rng trialRng = Rng(spec.masterSeed).fork(index);  // same derivation as materializeTrial
+  const Rng eventBase = trialRng.fork(kChurnEventStream);
+  const Rng repairBase = trialRng.fork(kChurnRepairStream);
+  const Rng gapBase = trialRng.fork(kChurnGapStream);
+  const Rng recountBase = trialRng.fork(kChurnRecountStream);
+
+  DynamicOverlay overlay(initial.graph, initial.byz, spec.graph.degree);
+  const double initialN = static_cast<double>(overlay.liveCount());
+  const double initialByz = static_cast<double>(overlay.byzCount());
+  std::unique_ptr<ChurnModel> model =
+      spec.churn.kind != ChurnModelKind::None ? makeChurnModel(spec.churn) : nullptr;
+
+  ChurnTrialResult result;
+  result.epochs.reserve(spec.churn.epochs);
+  TrialOutcome& total = result.outcome;
+  bool haveFingerprint = false;
+  double estimate = 0.0;       // ln-scale estimate the network currently runs on
+  double anchorLogN = 0.0;     // ln n at the last recount (drift reference)
+  double lastAgree = 0.0;
+  double stalenessSum = 0.0, stalenessMax = 0.0, gapSum = 0.0;
+  double driftSum = 0.0, driftMax = 0.0;
+  double firstGap = 0.0, lastGap = 0.0;
+  std::uint64_t joins = 0, leaves = 0, rewires = 0;
+  std::uint32_t recounts = 0;
+
+  for (std::uint32_t epoch = 1; epoch <= spec.churn.epochs; ++epoch) {
+    EpochReport report;
+    report.epoch = epoch;
+
+    if (epoch > 1 && model) {
+      Rng eventRng = eventBase.fork(epoch);
+      Rng repairRng = repairBase.fork(epoch);
+      const ChurnEvents events = model->epochEvents(overlay, epoch, eventRng);
+      const std::size_t before = overlay.liveCount();
+      applyChurnEvents(overlay, events, repairRng);
+      report.joins = events.honestJoins + events.byzJoins;
+      report.leaves = static_cast<std::uint32_t>(
+          before + report.joins - overlay.liveCount());  // leaves the floor let through
+      report.rewires = events.rewires;
+      joins += report.joins;
+      leaves += report.leaves;
+      rewires += report.rewires;
+    }
+
+    // Materialise this epoch's snapshot. Epoch 1 reuses the already-built
+    // static trial verbatim (the overlay round-trip is identity there, but
+    // handing the protocol the original objects keeps that fact structural).
+    OverlaySnapshot snap;
+    if (epoch == 1) {
+      snap.graph = std::move(initial.graph);
+      snap.byz = std::move(initial.byz);
+    } else {
+      snap = overlay.snapshot();
+    }
+    const NodeId liveN = snap.graph.numNodes();
+    const double trueLogN = std::log(static_cast<double>(liveN));
+    report.liveN = liveN;
+    report.byzCount = snap.byz.count();
+
+    Rng gapRng = gapBase.fork(epoch);
+    report.spectralGap = spectralGapEstimate(snap.graph, kGapIterations, gapRng);
+    gapSum += report.spectralGap;
+    lastGap = report.spectralGap;
+    if (epoch == 1) firstGap = report.spectralGap;
+
+    const bool recount = (epoch - 1) % spec.churn.recountEvery == 0;
+    if (recount) {
+      ScenarioSpec epochSpec = spec;
+      // Node indices are dense per epoch; configured focus nodes must stay
+      // in range when the overlay shrinks below them (the root additionally
+      // falls back to an honest node inside runProtocolTrial if Byzantine).
+      epochSpec.placement.victim =
+          std::min<NodeId>(spec.placement.victim, liveN > 0 ? liveN - 1 : 0);
+      epochSpec.treeParams.root =
+          std::min<NodeId>(spec.treeParams.root, liveN > 0 ? liveN - 1 : 0);
+      Rng protoRng = epoch == 1 ? std::move(initial.runRng) : recountBase.fork(epoch);
+      TrialOutcome out = runProtocolTrial(epochSpec, snap.graph, snap.byz, std::move(protoRng));
+      ++recounts;
+      report.recounted = true;
+      report.rounds = out.totalRounds;
+      report.messages = out.totalMessages;
+      report.bits = out.totalBits;
+      report.fingerprint = out.resultFingerprint;
+      estimate = recountEstimate(spec, out, trueLogN);
+      anchorLogN = trueLogN;
+      lastAgree = agreementFraction(spec, out);
+
+      total.quality = out.quality;
+      total.totalRounds += out.totalRounds;
+      total.totalMessages += out.totalMessages;
+      total.totalBits += out.totalBits;
+      total.hitRoundCap = total.hitRoundCap || out.hitRoundCap;
+      if (!haveFingerprint) {
+        // First recount seeds the fold, so a single-epoch schedule carries
+        // the static path's fingerprint through unchanged.
+        total.resultFingerprint = out.resultFingerprint;
+        haveFingerprint = true;
+      } else {
+        total.resultFingerprint =
+            fnv1a64(&out.resultFingerprint, sizeof out.resultFingerprint,
+                    total.resultFingerprint);
+      }
+    }
+    report.estimate = estimate;
+    report.staleness = trueLogN > 0.0 ? std::abs(estimate - trueLogN) / trueLogN : 0.0;
+    report.drift = trueLogN > 0.0 ? std::abs(anchorLogN - trueLogN) / trueLogN : 0.0;
+    report.fracAgreeing = lastAgree;
+    stalenessSum += report.staleness;
+    stalenessMax = std::max(stalenessMax, report.staleness);
+    driftSum += report.drift;
+    driftMax = std::max(driftMax, report.drift);
+    result.epochs.push_back(report);
+  }
+
+  const double epochsRun = static_cast<double>(spec.churn.epochs);
+  total.extra.assign(kChurnExtraSlots, 0.0);
+  total.extra[kChurnEpochs] = epochsRun;
+  total.extra[kChurnRecounts] = static_cast<double>(recounts);
+  total.extra[kChurnFinalN] = static_cast<double>(overlay.liveCount());
+  total.extra[kChurnGrowth] = static_cast<double>(overlay.liveCount()) / initialN;
+  total.extra[kChurnJoins] = static_cast<double>(joins);
+  total.extra[kChurnLeaves] = static_cast<double>(leaves);
+  total.extra[kChurnRewires] = static_cast<double>(rewires);
+  total.extra[kChurnFinalByz] = static_cast<double>(overlay.byzCount());
+  total.extra[kChurnByzInflation] =
+      initialByz > 0.0 ? static_cast<double>(overlay.byzCount()) / initialByz : 1.0;
+  total.extra[kChurnMeanStaleness] = stalenessSum / epochsRun;
+  total.extra[kChurnMaxStaleness] = stalenessMax;
+  total.extra[kChurnMeanDrift] = driftSum / epochsRun;
+  total.extra[kChurnMaxDrift] = driftMax;
+  total.extra[kChurnMeanGap] = gapSum / epochsRun;
+  total.extra[kChurnGapDrift] = lastGap - firstGap;
+  total.extra[kChurnLastAgree] = lastAgree;
+  return result;
+}
+
+TrialOutcome runChurnTrial(const ScenarioSpec& spec, std::uint32_t index) {
+  return runChurnTrialDetailed(spec, index).outcome;
+}
+
+}  // namespace bzc

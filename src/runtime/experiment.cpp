@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "churn/epoch_runner.hpp"
 #include "counting/beacon/protocol.hpp"
 #include "graph/generators.hpp"
 #include "runtime/fingerprint.hpp"
@@ -80,7 +81,20 @@ void foldAgreementStage(TrialOutcome& outcome, const AgreementOutcome& agreement
 }  // namespace
 
 TrialOutcome ExperimentRunner::runTrial(const ScenarioSpec& spec, std::uint32_t index) {
+  if (spec.churn.enabled()) return runChurnTrial(spec, index);
   MaterializedTrial trial = materializeTrial(spec, index);
+  return runProtocolTrial(spec, trial.graph, trial.byz, std::move(trial.runRng));
+}
+
+TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
+                              const ByzantineSet& byz, Rng runRng) {
+  // Reference view shaped like MaterializedTrial so the protocol dispatch
+  // below reads identically to the pre-split runTrial (no graph copies).
+  struct {
+    const Graph& graph;
+    const ByzantineSet& byz;
+    Rng& runRng;
+  } trial{graph, byz, runRng};
   const NodeId n = trial.graph.numNodes();
 
   if (spec.protocol == ProtocolKind::Agreement) {

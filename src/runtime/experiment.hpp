@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "agreement/pipeline.hpp"
+#include "churn/schedule.hpp"
 #include "counting/baselines/geometric.hpp"
 #include "counting/baselines/spanning_tree.hpp"
 #include "counting/baselines/support_estimation.hpp"
@@ -114,6 +115,12 @@ struct ScenarioSpec {
   /// (beaconAttack above selects the stage-1 adversary).
   PipelineParams pipelineParams;
 
+  /// Dynamic-network axis (src/churn/). The default schedule is inert; when
+  /// enabled, trials route through the EpochRunner: the overlay evolves for
+  /// churn.epochs epochs and the selected protocol re-runs on the recount
+  /// cadence, with churn diagnostics in the ChurnExtraSlot extras.
+  ChurnSchedule churn;
+
   QualityWindow window{0.3, 1.8};
   std::uint32_t trials = 32;
   std::uint64_t masterSeed = 1;
@@ -142,6 +149,15 @@ struct TrialOutcome {
   std::uint64_t resultFingerprint = 0;  ///< fingerprint() of the CountingResult
   std::vector<double> extra;            ///< caller-defined metrics, aggregated by slot
 };
+
+/// Runs spec's protocol once on an explicit (graph, byz, stream) instead of a
+/// materialised trial — the execution core shared by the static declarative
+/// path and the per-epoch recounts of the churn EpochRunner (src/churn/),
+/// which is what makes a zero-churn epoch bit-identical to the static run.
+/// Victim-centric strategies read spec.placement.victim; callers on shrunken
+/// graphs must clamp it below numNodes first.
+[[nodiscard]] TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
+                                            const ByzantineSet& byz, Rng runRng);
 
 /// Distribution of one metric over the R trials.
 struct Distribution {

@@ -84,7 +84,9 @@ class SyncEngine {
         byz_(byz),
         maxTotalRounds_(maxTotalRounds == 0 ? ~0ULL : maxTotalRounds),
         meter_(g.numNodes()),
-        inbox_(g.numNodes()) {
+        inboxCount_(g.numNodes(), 0),
+        inboxStart_(g.numNodes(), 0),
+        inboxCursor_(g.numNodes(), 0) {
     BZC_REQUIRE(byz.numNodes() == g.numNodes(), "byzantine set size mismatch");
   }
 
@@ -114,7 +116,10 @@ class SyncEngine {
   [[nodiscard]] bool hasPending() const noexcept { return !sendQueue_.empty(); }
 
   /// Inbox of node v for the current round (valid inside recv/end hooks).
-  [[nodiscard]] std::span<const Delivery> inboxOf(NodeId v) const { return inbox_[v]; }
+  [[nodiscard]] std::span<const Delivery> inboxOf(NodeId v) const {
+    if (inboxCount_[v] == 0) return {};
+    return {inboxArena_.data() + inboxStart_[v], inboxCount_[v]};
+  }
 
   // --- the round loop -------------------------------------------------------
   // Per round: cap check; advance the counter; emit(w); flush queued sends
@@ -135,16 +140,16 @@ class SyncEngine {
       emit(static_cast<Round>(w));
       flushing_.clear();
       flushing_.swap(sendQueue_);  // sends queued from hooks target the next round
-      for (PendingSend& p : flushing_) deliver(p);
+      flush();
       if (flushing_.empty() && idle == IdlePolicy::StopWhenIdle) {
         res.status = WindowStatus::Quiesced;
         return res;
       }
       for (NodeId v : touched_) {
-        recv(v, static_cast<Round>(w), std::span<const Delivery>(inbox_[v]));
+        recv(v, static_cast<Round>(w), inboxOf(v));
       }
       const bool keep = end(static_cast<Round>(w));
-      for (NodeId v : touched_) inbox_[v].clear();
+      for (NodeId v : touched_) inboxCount_[v] = 0;
       touched_.clear();
       if (!keep) {
         res.status = WindowStatus::Stopped;
@@ -169,24 +174,48 @@ class SyncEngine {
     std::size_t bits;
   };
 
-  void deliver(PendingSend& p) {
-    if (p.to == kNoNode) {
-      if (!byz_.contains(p.from)) {
-        meter_.recordBroadcast(p.from, p.bits, graph_.degree(p.from));
+  // Batched delivery: one counting pass sizes every inbox, receivers get
+  // contiguous slices of a single round arena (offsets assigned in
+  // first-delivery order, which keeps `touched_` — and therefore the recv
+  // order the goldens pin — identical to the old one-Delivery-per-push
+  // scheme), then a scatter pass writes payloads in send-queue order. At
+  // token-heavy scale (n >= 64k: one unicast per live walk token per round)
+  // this replaces n scattered vector headers and their growth reallocations
+  // with two flat arrays and a grow-only arena; delivery order, metering
+  // order and inbox contents are bit-identical (DESIGN.md §1).
+  void flush() {
+    for (const PendingSend& p : flushing_) {
+      if (p.to == kNoNode) {
+        if (!byz_.contains(p.from)) {
+          meter_.recordBroadcast(p.from, p.bits, graph_.degree(p.from));
+        }
+        for (NodeId v : graph_.neighbors(p.from)) {
+          if (inboxCount_[v]++ == 0) touched_.push_back(v);
+        }
+      } else {
+        if (!byz_.contains(p.from)) meter_.record(p.from, p.bits);
+        if (inboxCount_[p.to]++ == 0) touched_.push_back(p.to);
       }
-      for (NodeId v : graph_.neighbors(p.from)) push(v, p.from, Message(p.payload));
-    } else {
-      // A unicast has exactly one receiver and flushing_ is discarded after
-      // the flush, so the payload can move (message types carrying buffers —
-      // walk tokens — ride this hot path).
-      if (!byz_.contains(p.from)) meter_.record(p.from, p.bits);
-      push(p.to, p.from, std::move(p.payload));
     }
-  }
-
-  void push(NodeId v, NodeId from, Message&& payload) {
-    if (inbox_[v].empty()) touched_.push_back(v);
-    inbox_[v].push_back({from, std::move(payload)});
+    std::size_t total = 0;
+    for (NodeId v : touched_) {
+      inboxStart_[v] = total;
+      inboxCursor_[v] = total;
+      total += inboxCount_[v];
+    }
+    if (inboxArena_.size() < total) inboxArena_.resize(total);
+    for (PendingSend& p : flushing_) {
+      if (p.to == kNoNode) {
+        for (NodeId v : graph_.neighbors(p.from)) {
+          inboxArena_[inboxCursor_[v]++] = {p.from, Message(p.payload)};
+        }
+      } else {
+        // A unicast has exactly one receiver and flushing_ is discarded after
+        // the flush, so the payload can move (message types carrying buffers —
+        // walk tokens — ride this hot path).
+        inboxArena_[inboxCursor_[p.to]++] = {p.from, std::move(p.payload)};
+      }
+    }
   }
 
   const Graph& graph_;
@@ -197,7 +226,10 @@ class SyncEngine {
 
   std::vector<PendingSend> sendQueue_;
   std::vector<PendingSend> flushing_;
-  std::vector<std::vector<Delivery>> inbox_;
+  std::vector<Delivery> inboxArena_;        ///< one round's deliveries, receiver-contiguous
+  std::vector<std::size_t> inboxCount_;     ///< per node; nonzero only for touched_ members
+  std::vector<std::size_t> inboxStart_;     ///< arena offset; valid when inboxCount_ > 0
+  std::vector<std::size_t> inboxCursor_;    ///< scatter cursor during flush()
   std::vector<NodeId> touched_;
 };
 

@@ -29,6 +29,12 @@ KEY_METRICS = [
 ]
 QUALITY_KEYS = {"fracDecided", "fracWithinWindow"}
 
+# Named extras where *larger* is worse (churn scenarios emit an "extraNames"
+# array labelling their positional extras): estimate staleness / drift rising
+# between runs is a quality regression even though a fraction-shaped value
+# dropping is the usual direction.
+LOWER_IS_BETTER_EXTRAS = {"meanStaleness", "maxStaleness", "meanDrift", "maxDrift"}
+
 
 def load_dir(path: Path) -> dict:
     """name -> summary dict, from every BENCH_*.json under path."""
@@ -83,20 +89,28 @@ def main() -> int:
             deltas.append(f"{pretty}: {fmt(a)} → {fmt(b)} ({rel:+.2%})")
             if key in QUALITY_KEYS and (a - b) > args.quality_drop:
                 regressions.append(f"{name}: {pretty} dropped {fmt(a)} → {fmt(b)}")
-        # Extras are positional and unnamed in the JSON (slot meaning is
-        # bench-defined; for agreement rows slot 0 is fracAgreeing — the
-        # metric fracDecided cannot see, since Agreement trials hardwire it
-        # to 1.0). Report every moved slot, and treat fraction-shaped slots
-        # (both values in [0, 1]) as quality for the regression gate.
+        # Extras are positional in the JSON (slot meaning is bench-defined;
+        # for agreement rows slot 0 is fracAgreeing — the metric fracDecided
+        # cannot see, since Agreement trials hardwire it to 1.0). Churn rows
+        # additionally carry an "extraNames" array labelling the slots.
+        # Report every moved slot; for the regression gate treat
+        # fraction-shaped slots (both values in [0, 1]) as quality, except
+        # named lower-is-better metrics (staleness/drift), which regress
+        # when they *rise*.
         old_extras = old.get("extras", [])
+        names = row.get("extraNames", [])
         for i, slot in enumerate(row.get("extras", [])):
             a = old_extras[i].get("mean") if i < len(old_extras) else None
             b = slot.get("mean")
             if a is None or b is None or a == b:
                 continue
-            deltas.append(f"extra[{i}]: {fmt(a)} → {fmt(b)}")
-            if 0.0 <= a <= 1.0 and 0.0 <= b <= 1.0 and (a - b) > args.quality_drop:
-                regressions.append(f"{name}: extra[{i}] dropped {fmt(a)} → {fmt(b)}")
+            label = f"extra[{names[i]}]" if i < len(names) else f"extra[{i}]"
+            deltas.append(f"{label}: {fmt(a)} → {fmt(b)}")
+            if i < len(names) and names[i] in LOWER_IS_BETTER_EXTRAS:
+                if (b - a) > args.quality_drop:
+                    regressions.append(f"{name}: {label} rose {fmt(a)} → {fmt(b)}")
+            elif 0.0 <= a <= 1.0 and 0.0 <= b <= 1.0 and (a - b) > args.quality_drop:
+                regressions.append(f"{name}: {label} dropped {fmt(a)} → {fmt(b)}")
         # Fingerprint inequality alone also counts: extras are outside
         # fingerprint(), and fingerprints can move without shifting any mean.
         if deltas or old.get("combinedFingerprint") != row.get("combinedFingerprint"):
