@@ -75,6 +75,42 @@ inline AgreementAttackProfile walkAttackProfileByName(const std::string& name) {
   return {};
 }
 
+/// CLI/env attack selection for the beacon-adversary gallery
+/// (src/adversary/beacon/): canonical profile names, plus the short aliases
+/// the walk gallery uses.
+inline BeaconAdversaryProfile beaconAdversaryProfileByName(const std::string& name) {
+  // The targeted flooder is handed out with the scenario-victim sentinel:
+  // the declarative path anchors it to the spec's placement victim.
+  const BeaconAdversaryProfile gallery[] = {
+      BeaconAdversaryProfile::none(),          BeaconAdversaryProfile::flooder(),
+      BeaconAdversaryProfile::targetedFlooder(BeaconAdversaryProfile::kScenarioVictim),
+      BeaconAdversaryProfile::tamperer(),      BeaconAdversaryProfile::suppressor(),
+      BeaconAdversaryProfile::continueSpammer(), BeaconAdversaryProfile::full(),
+      BeaconAdversaryProfile::adaptiveFlooder(), BeaconAdversaryProfile::prefixGrafter(),
+  };
+  for (const BeaconAdversaryProfile& profile : gallery) {
+    if (name == profile.name) return profile;
+  }
+  if (name == "targeted") {
+    return BeaconAdversaryProfile::targetedFlooder(BeaconAdversaryProfile::kScenarioVictim);
+  }
+  if (name == "adaptive") return BeaconAdversaryProfile::adaptiveFlooder();
+  if (name == "grafter") return BeaconAdversaryProfile::prefixGrafter();
+  if (name == "spammer") return BeaconAdversaryProfile::continueSpammer();
+  BZC_REQUIRE(false, "unknown beacon attack: " + name);
+  return {};
+}
+
+/// Labels for the AgreementExtraSlot layout (Agreement/Pipeline scenarios).
+inline std::vector<std::string> agreementExtraNames() {
+  std::vector<std::string> names;
+  names.reserve(kAgreementExtraSlots);
+  for (std::size_t slot = 0; slot < kAgreementExtraSlots; ++slot) {
+    names.emplace_back(agreementExtraSlotName(slot));
+  }
+  return names;
+}
+
 /// Master seed for table row `row` of bench `benchTag`. Seeds derive from the
 /// row *index*, never from row parameters: parameter-derived seeds collide
 /// when two rows share a parameter value (T7's old `Rng(900 + L*10)` gave the

@@ -38,12 +38,12 @@ void BM_HndGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_HndGenerate)->Arg(1024)->Arg(4096);
 
-void BM_PathArenaAppendWalk(benchmark::State& state) {
-  PathArena arena;
+void BM_BeaconPathArenaAppendWalk(benchmark::State& state) {
+  BeaconPathArena arena;
   Rng rng(4);
   for (auto _ : state) {
     arena.clear();
-    PathRef p = kNoPath;
+    BeaconPathRef p = kNoBeaconPath;
     for (int i = 0; i < 16; ++i) p = arena.append(p, rng.next());
     std::uint64_t acc = 0;
     arena.walkPrefix(p, 2, [&](PublicId id) {
@@ -53,7 +53,7 @@ void BM_PathArenaAppendWalk(benchmark::State& state) {
     benchmark::DoNotOptimize(acc);
   }
 }
-BENCHMARK(BM_PathArenaAppendWalk);
+BENCHMARK(BM_BeaconPathArenaAppendWalk);
 
 void BM_BeaconBenignRun(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));

@@ -2,21 +2,27 @@
 // library against both counting algorithms AND the agreement stage, on one
 // page.
 //
-//   ./adversary_gallery [n] [trials] [seed]
+//   ./adversary_gallery [n] [trials] [seed] [beacon-attack]
+//
+// The optional [beacon-attack] argument (bench_common name/alias resolution,
+// like p2p_agreement's [attack]) narrows the Algorithm 2 table to one
+// beacon-adversary strategy next to the honest baseline — e.g.
+// `adversary_gallery 512 5 3 adaptive-flooder`.
 //
 // Shows at a glance what each attack does to decision coverage and estimate
 // quality, and that neither algorithm is ever pushed outside its theorem's
 // guarantee by any implemented strategy. Every cell aggregates `trials`
 // independent trials (fresh graph, placement and protocol streams per trial)
 // fanned out over the ExperimentRunner's thread pool — the declarative
-// ScenarioSpec path for Algorithm 2 and the walk-adversary gallery
-// (src/adversary/), the custom-trial path (with per-trial extra metrics)
-// for Algorithm 1.
+// ScenarioSpec path for Algorithm 2 and both strategy galleries
+// (src/adversary/ for walks, src/adversary/beacon/ for the counting stage),
+// the custom-trial path (with per-trial extra metrics) for Algorithm 1.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 
+#include "adversary/beacon/profile.hpp"
 #include "adversary/profile.hpp"
 #include "bench/bench_common.hpp"
 #include "counting/beacon/protocol.hpp"
@@ -28,6 +34,7 @@ int main(int argc, char** argv) {
   const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 512;
   const std::uint32_t trials = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 5;
   const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 3;
+  const std::string beaconFilter = argc > 4 ? argv[4] : "";
 
   const std::size_t budget = byzantineBudget(n, 0.55);
   const double logN = std::log(static_cast<double>(n));
@@ -48,18 +55,32 @@ int main(int argc, char** argv) {
     return spec;
   };
 
-  std::cout << "\n--- Algorithm 2 (randomized, small messages) ---\n";
+  std::cout << "\n--- Algorithm 2 (randomized, small messages; beacon-adversary gallery) ---\n";
   Table beaconTable({"adversary", "frac decided", "mean est/ln n", "rounds", "capped trials"});
-  for (const auto& attack :
-       {BeaconAttackProfile::none(), BeaconAttackProfile::flooder(),
-        BeaconAttackProfile::tamperer(), BeaconAttackProfile::suppressor(),
-        BeaconAttackProfile::continueSpammer(), BeaconAttackProfile::full()}) {
-    ScenarioSpec spec = baseSpec("gallery-beacon-" + attack.name, attack.name != "none");
+  std::vector<BeaconAdversaryProfile> beaconStrategies;
+  if (beaconFilter.empty()) {
+    beaconStrategies = {BeaconAdversaryProfile::none(),
+                        BeaconAdversaryProfile::flooder(),
+                        BeaconAdversaryProfile::targetedFlooder(/*victim=*/3, /*radius=*/3),
+                        BeaconAdversaryProfile::tamperer(),
+                        BeaconAdversaryProfile::suppressor(),
+                        BeaconAdversaryProfile::continueSpammer(),
+                        BeaconAdversaryProfile::full(),
+                        BeaconAdversaryProfile::adaptiveFlooder(),
+                        BeaconAdversaryProfile::prefixGrafter()};
+  } else {
+    beaconStrategies = {BeaconAdversaryProfile::none(),
+                        bench::beaconAdversaryProfileByName(beaconFilter)};
+  }
+  for (const auto& strategy : beaconStrategies) {
+    const bool withByzantine = strategy.kind != BeaconAttackKind::None;
+    ScenarioSpec spec = baseSpec("gallery-beacon-" + strategy.name, withByzantine);
     spec.protocol = ProtocolKind::Beacon;
-    spec.beaconAttack = attack;
+    spec.beaconAdversary = strategy;
+    spec.placement.victim = 3;
     spec.beaconLimits.maxPhase = static_cast<std::uint32_t>(std::ceil(logN)) + 3;
     const ExperimentSummary s = bench::runScenario(runner, spec);
-    beaconTable.addRow({attack.name, Table::percent(s.fracDecided.mean),
+    beaconTable.addRow({strategy.name, Table::percent(s.fracDecided.mean),
                         Table::num(s.meanRatio.mean, 2),
                         Table::num(s.totalRounds.mean, 0) + " [" +
                             Table::num(s.totalRounds.min, 0) + "," +

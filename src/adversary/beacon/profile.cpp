@@ -1,0 +1,86 @@
+#include "adversary/beacon/profile.hpp"
+
+#include "support/require.hpp"
+
+namespace bzc {
+
+const char* beaconAttackKindName(BeaconAttackKind kind) {
+  switch (kind) {
+    case BeaconAttackKind::None: return "none";
+    case BeaconAttackKind::Flooder: return "flooder";
+    case BeaconAttackKind::TargetedFlooder: return "targeted-flooder";
+    case BeaconAttackKind::Tamperer: return "tamperer";
+    case BeaconAttackKind::Suppressor: return "suppressor";
+    case BeaconAttackKind::ContinueSpammer: return "continue-spammer";
+    case BeaconAttackKind::Full: return "full";
+    case BeaconAttackKind::AdaptiveFlooder: return "adaptive-flooder";
+    case BeaconAttackKind::PrefixGrafter: return "prefix-grafter";
+  }
+  BZC_REQUIRE(false, "unknown beacon attack kind");
+  return "?";
+}
+
+namespace {
+
+BeaconAdversaryProfile base(BeaconAttackKind kind) {
+  BeaconAdversaryProfile profile;
+  profile.kind = kind;
+  profile.name = beaconAttackKindName(kind);
+  return profile;
+}
+
+}  // namespace
+
+BeaconAdversaryProfile BeaconAdversaryProfile::none() { return base(BeaconAttackKind::None); }
+
+BeaconAdversaryProfile BeaconAdversaryProfile::flooder(std::uint32_t prefixLength) {
+  BeaconAdversaryProfile profile = base(BeaconAttackKind::Flooder);
+  profile.fakePrefixLength = prefixLength;
+  return profile;
+}
+
+BeaconAdversaryProfile BeaconAdversaryProfile::targetedFlooder(std::uint32_t victim,
+                                                               std::uint32_t radius,
+                                                               std::uint32_t prefixLength) {
+  BeaconAdversaryProfile profile = base(BeaconAttackKind::TargetedFlooder);
+  profile.victim = victim;
+  profile.forgeRadius = radius;
+  profile.fakePrefixLength = prefixLength;
+  return profile;
+}
+
+BeaconAdversaryProfile BeaconAdversaryProfile::tamperer(std::uint32_t prefixLength) {
+  BeaconAdversaryProfile profile = base(BeaconAttackKind::Tamperer);
+  profile.fakePrefixLength = prefixLength;
+  return profile;
+}
+
+BeaconAdversaryProfile BeaconAdversaryProfile::suppressor() {
+  return base(BeaconAttackKind::Suppressor);
+}
+
+BeaconAdversaryProfile BeaconAdversaryProfile::continueSpammer() {
+  return base(BeaconAttackKind::ContinueSpammer);
+}
+
+BeaconAdversaryProfile BeaconAdversaryProfile::full(std::uint32_t prefixLength) {
+  BeaconAdversaryProfile profile = base(BeaconAttackKind::Full);
+  profile.fakePrefixLength = prefixLength;
+  return profile;
+}
+
+BeaconAdversaryProfile BeaconAdversaryProfile::adaptiveFlooder(std::uint64_t tolerance,
+                                                               std::uint32_t prefixLength) {
+  BeaconAdversaryProfile profile = base(BeaconAttackKind::AdaptiveFlooder);
+  profile.pressureTolerance = tolerance;
+  profile.fakePrefixLength = prefixLength;
+  return profile;
+}
+
+BeaconAdversaryProfile BeaconAdversaryProfile::prefixGrafter(std::uint32_t graftLength) {
+  BeaconAdversaryProfile profile = base(BeaconAttackKind::PrefixGrafter);
+  profile.graftLength = graftLength;
+  return profile;
+}
+
+}  // namespace bzc

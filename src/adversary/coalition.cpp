@@ -1,0 +1,201 @@
+#include "adversary/coalition.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "graph/bfs.hpp"
+#include "support/require.hpp"
+
+namespace bzc {
+
+CoalitionPlan CoalitionPlan::split(const std::string& nameA, double shareA,
+                                   const BeaconAdversaryProfile& beaconA,
+                                   const AgreementAttackProfile& walkA, const std::string& nameB,
+                                   const BeaconAdversaryProfile& beaconB,
+                                   const AgreementAttackProfile& walkB) {
+  BZC_REQUIRE(shareA > 0.0 && shareA < 1.0, "split share must lie strictly inside (0, 1)");
+  CoalitionPlan plan;
+  plan.subsets.push_back({nameA, shareA, beaconA, walkA});
+  plan.subsets.push_back({nameB, 1.0 - shareA, beaconB, walkB});
+  return plan;
+}
+
+CoalitionAssignment partitionBudget(const CoalitionPlan& plan, const ByzantineSet& byz) {
+  BZC_REQUIRE(plan.enabled(), "partitionBudget needs a nonempty CoalitionPlan");
+  double totalShare = 0.0;
+  for (const CoalitionSubset& s : plan.subsets) {
+    BZC_REQUIRE(s.share >= 0.0, "subset shares must be nonnegative");
+    totalShare += s.share;
+  }
+  BZC_REQUIRE(totalShare > 0.0, "coalition plan has zero total share");
+  BZC_REQUIRE(plan.subsets.size() < CoalitionAssignment::kNoSubset,
+              "too many coalition subsets");
+
+  const std::size_t budget = byz.count();
+  CoalitionAssignment assign;
+  assign.subsetOf.assign(byz.numNodes(), CoalitionAssignment::kNoSubset);
+  assign.sizes.assign(plan.subsets.size(), 0);
+
+  // Floor shares, then hand the remainder one each to the earliest subsets:
+  // sizes sum to the budget exactly, independent of floating-point share
+  // arithmetic (the partition audit pins this).
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < plan.subsets.size(); ++i) {
+    assign.sizes[i] = static_cast<std::size_t>(
+        std::floor(plan.subsets[i].share / totalShare * static_cast<double>(budget)));
+    assigned += assign.sizes[i];
+  }
+  BZC_ASSERT(assigned <= budget);
+  // The remainder goes to the earliest POSITIVE-share subsets: a subset the
+  // plan allocated nothing to must never receive budget.
+  for (std::size_t i = 0; assigned < budget; i = (i + 1) % plan.subsets.size()) {
+    if (plan.subsets[i].share <= 0.0) continue;
+    ++assign.sizes[i];
+    ++assigned;
+  }
+
+  // Contiguous slices of byz.members() (ascending node order): deterministic,
+  // disjoint, exhaustive.
+  std::size_t subset = 0;
+  std::size_t taken = 0;
+  for (NodeId b : byz.members()) {
+    while (subset < assign.sizes.size() && taken == assign.sizes[subset]) {
+      ++subset;
+      taken = 0;
+    }
+    BZC_ASSERT(subset < assign.sizes.size());
+    assign.subsetOf[b] = static_cast<std::uint8_t>(subset);
+    ++taken;
+  }
+  return assign;
+}
+
+BeaconAdversaryProfile anchorBeaconProfile(BeaconAdversaryProfile profile, NodeId victim) {
+  if (profile.kind == BeaconAttackKind::TargetedFlooder &&
+      profile.victim == BeaconAdversaryProfile::kScenarioVictim) {
+    profile.victim = victim;
+  }
+  return profile;
+}
+
+namespace {
+
+class CoalitionBeaconAdversary final : public BeaconAdversary {
+ public:
+  CoalitionBeaconAdversary(std::vector<std::unique_ptr<BeaconAdversary>> strategies,
+                           std::vector<std::uint8_t> subsetOf)
+      : strategies_(std::move(strategies)), subsetOf_(std::move(subsetOf)) {}
+
+  bool forgeBeacon(const BeaconContext& ctx, BeaconFrame& forged) override {
+    return at(ctx.node).forgeBeacon(ctx, forged);
+  }
+
+  BeaconTransit onBeaconRelay(const BeaconContext& ctx, const BeaconSighting& first) override {
+    return at(ctx.node).onBeaconRelay(ctx, first);
+  }
+
+  bool spamContinue(const BeaconContext& ctx) override { return at(ctx.node).spamContinue(ctx); }
+
+  bool onContinueRelay(const BeaconContext& ctx) override {
+    return at(ctx.node).onContinueRelay(ctx);
+  }
+
+ private:
+  [[nodiscard]] BeaconAdversary& at(NodeId node) {
+    const std::uint8_t subset = subsetOf_[node];
+    BZC_ASSERT(subset != CoalitionAssignment::kNoSubset);
+    return *strategies_[subset];
+  }
+
+  std::vector<std::unique_ptr<BeaconAdversary>> strategies_;
+  std::vector<std::uint8_t> subsetOf_;
+};
+
+class CoalitionWalkAdversary final : public WalkAdversary {
+ public:
+  CoalitionWalkAdversary(std::vector<std::unique_ptr<WalkAdversary>> strategies,
+                         std::vector<std::uint8_t> subsetOf)
+      : strategies_(std::move(strategies)), subsetOf_(std::move(subsetOf)) {}
+
+  TokenAction onQuery(const WalkContext& ctx, WalkToken& token) override {
+    const bool wasCompromised = token.compromised;
+    const std::uint8_t subset = subsetOf_[ctx.node];
+    const TokenAction act = strategies_[subset]->onQuery(ctx, token);
+    if (!wasCompromised && token.compromised) token.taintSubset = subset;
+    return act;
+  }
+
+  TokenAction onAnswerRelay(const WalkContext& ctx, WalkToken& token) override {
+    const bool wasCompromised = token.compromised;
+    const std::uint8_t subset = subsetOf_[ctx.node];
+    const TokenAction act = strategies_[subset]->onAnswerRelay(ctx, token);
+    if (!wasCompromised && token.compromised) token.taintSubset = subset;
+    return act;
+  }
+
+  std::uint8_t forgeAnswer(const WalkContext& ctx, const WalkToken& token) override {
+    // The answer belongs to whoever claimed the token: the tainting subset
+    // when one is recorded, else the Byzantine endpoint's own subset.
+    std::uint8_t subset = token.taintSubset;
+    if (subset == CoalitionAssignment::kNoSubset) subset = subsetOf_[ctx.node];
+    BZC_ASSERT(subset != CoalitionAssignment::kNoSubset);
+    return strategies_[subset]->forgeAnswer(ctx, token);
+  }
+
+ private:
+  std::vector<std::unique_ptr<WalkAdversary>> strategies_;
+  std::vector<std::uint8_t> subsetOf_;
+};
+
+}  // namespace
+
+std::unique_ptr<BeaconAdversary> makeCoalitionBeaconAdversary(
+    const CoalitionPlan& plan, const CoalitionAssignment& assignment, const Graph& g,
+    const ByzantineSet& byz, NodeId victim) {
+  BZC_REQUIRE(assignment.subsets() == plan.subsets.size(), "assignment does not match plan");
+  std::vector<std::unique_ptr<BeaconAdversary>> strategies;
+  strategies.reserve(plan.subsets.size());
+  for (const CoalitionSubset& s : plan.subsets) {
+    strategies.push_back(makeBeaconAdversary(anchorBeaconProfile(s.beacon, victim), g, byz));
+  }
+  return std::make_unique<CoalitionBeaconAdversary>(std::move(strategies), assignment.subsetOf);
+}
+
+std::unique_ptr<WalkAdversary> makeCoalitionWalkAdversary(const CoalitionPlan& plan,
+                                                          const CoalitionAssignment& assignment,
+                                                          const Graph& g, const ByzantineSet& byz,
+                                                          NodeId victim) {
+  BZC_REQUIRE(assignment.subsets() == plan.subsets.size(), "assignment does not match plan");
+  std::vector<std::unique_ptr<WalkAdversary>> strategies;
+  strategies.reserve(plan.subsets.size());
+  for (const CoalitionSubset& s : plan.subsets) {
+    strategies.push_back(makeWalkAdversary(s.walk, g, byz, victim));
+  }
+  return std::make_unique<CoalitionWalkAdversary>(std::move(strategies), assignment.subsetOf);
+}
+
+double combinedCoalitionScore(const Graph& g, const ByzantineSet& byz, NodeId victim,
+                              std::uint32_t radius, const CountingResult& counting,
+                              const QualityWindow& window,
+                              const std::vector<std::uint8_t>& finalValues,
+                              int initialMajority) {
+  BZC_REQUIRE(victim < g.numNodes(), "victim out of range");
+  const double logN = std::log(static_cast<double>(g.numNodes()));
+  const std::vector<std::uint32_t> dist = bfsDistances(g, victim);
+  std::size_t near = 0;
+  std::size_t denied = 0;
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (byz.contains(u) || dist[u] > radius) continue;
+    ++near;
+    const DecisionRecord& rec = counting.decisions[u];
+    const double ratio = logN > 0.0 ? rec.estimate / logN : 0.0;
+    if (!rec.decided || ratio < window.lowRatio || ratio > window.highRatio) ++denied;
+  }
+  const double countingDamage =
+      near > 0 ? static_cast<double>(denied) / static_cast<double>(near) : 0.0;
+  const double agreementDamage =
+      coalitionScore(g, byz, victim, radius, finalValues, initialMajority);
+  return 0.5 * (countingDamage + agreementDamage);
+}
+
+}  // namespace bzc

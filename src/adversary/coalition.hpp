@@ -1,0 +1,75 @@
+// Mixed-coalition machinery: budget partitioning, per-stage dispatch
+// strategies, and the combined cross-stage damage score.
+//
+// A CoalitionPlan (adversary/coalition_plan.hpp) is materialised per trial
+// into (1) a CoalitionAssignment mapping each Byzantine node to its subset
+// and (2) one dispatcher strategy per pipeline stage. The dispatchers are
+// ordinary BeaconAdversary / WalkAdversary instances — the protocols cannot
+// tell a mixed coalition from a single strategy — holding one gallery
+// strategy per subset and routing every hook by the acting node's subset.
+// Both stages share the caller's Coalition blackboard. See DESIGN.md §9.
+#pragma once
+
+#include <memory>
+
+#include "adversary/beacon/strategies.hpp"
+#include "adversary/coalition_plan.hpp"
+#include "adversary/strategies.hpp"
+#include "counting/common.hpp"
+
+namespace bzc {
+
+/// Deterministic node → subset map for one trial.
+struct CoalitionAssignment {
+  static constexpr std::uint8_t kNoSubset = 0xff;
+
+  std::vector<std::uint8_t> subsetOf;  ///< indexed by NodeId; kNoSubset = honest
+  std::vector<std::size_t> sizes;      ///< per subset; sums to byz.count()
+
+  [[nodiscard]] std::size_t subsets() const noexcept { return sizes.size(); }
+};
+
+/// Partitions byz.members() (ascending node order) into contiguous slices
+/// sized by the plan's normalised shares; floor rounding leaves a remainder
+/// of fewer than subsets() nodes, handed one each to the earliest subsets.
+/// Sizes always sum to the budget and slices are disjoint by construction
+/// (the partition audit test pins both).
+[[nodiscard]] CoalitionAssignment partitionBudget(const CoalitionPlan& plan,
+                                                  const ByzantineSet& byz);
+
+/// Anchors a beacon profile's victim to the scenario victim when the profile
+/// left it at the kScenarioVictim sentinel (plan- or spec-authored targeted
+/// flooders usually mean "the scenario's placement victim"; an explicit
+/// victim — including node 0 — always wins).
+[[nodiscard]] BeaconAdversaryProfile anchorBeaconProfile(BeaconAdversaryProfile profile,
+                                                         NodeId victim);
+
+/// Counting-stage dispatcher: one gallery strategy per subset, routed by
+/// ctx.node. Targeted-flooder victims default to `victim` when the subset
+/// profile left its victim at the kScenarioVictim sentinel.
+[[nodiscard]] std::unique_ptr<BeaconAdversary> makeCoalitionBeaconAdversary(
+    const CoalitionPlan& plan, const CoalitionAssignment& assignment, const Graph& g,
+    const ByzantineSet& byz, NodeId victim);
+
+/// Agreement-stage dispatcher. Transit hooks route by the acting node's
+/// subset; forgeAnswer routes by the subset that tainted the token
+/// (WalkToken::taintSubset), falling back to the endpoint's own subset for
+/// untainted tokens that ended on a Byzantine node.
+[[nodiscard]] std::unique_ptr<WalkAdversary> makeCoalitionWalkAdversary(
+    const CoalitionPlan& plan, const CoalitionAssignment& assignment, const Graph& g,
+    const ByzantineSet& byz, NodeId victim);
+
+/// Combined cross-stage coalition damage around the victim, in [0, 1]:
+/// the mean of the counting-stage component (fraction of honest nodes within
+/// `radius` of the victim left undecided or outside the quality window) and
+/// the agreement-stage component (coalitionScore: fraction of that
+/// neighbourhood ending off the initial honest majority). 1 = the coalition
+/// denied the area both a usable estimate and the majority bit.
+[[nodiscard]] double combinedCoalitionScore(const Graph& g, const ByzantineSet& byz,
+                                            NodeId victim, std::uint32_t radius,
+                                            const CountingResult& counting,
+                                            const QualityWindow& window,
+                                            const std::vector<std::uint8_t>& finalValues,
+                                            int initialMajority);
+
+}  // namespace bzc

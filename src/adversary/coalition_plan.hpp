@@ -1,0 +1,59 @@
+// Declarative mixed-coalition description.
+//
+// The paper's adversary is one monolithic set of B Byzantine nodes; real
+// attacks (and the related-work evaluations this repo reproduces) mix
+// behaviours — part of the budget floods the counting stage while another
+// part hunts the agreement stage. A CoalitionPlan partitions the Byzantine
+// budget of a trial into named subsets, each with its own counting-stage
+// (BeaconAdversaryProfile) and agreement-stage (AgreementAttackProfile)
+// behaviour. The partition is deterministic (contiguous slices of
+// byz.members() sized by normalised shares, remainder to the earliest
+// subsets), so mixed scenarios stay pure functions of (masterSeed, trial)
+// and thread-count invariant. All subsets share one per-trial Coalition
+// blackboard spanning both pipeline stages. See DESIGN.md §9.
+//
+// This header is deliberately light (profiles + vector) so
+// runtime/experiment.hpp can embed a CoalitionPlan; the partitioning, the
+// mixed dispatch strategies and the combined score live in
+// adversary/coalition.hpp / coalition.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adversary/beacon/profile.hpp"
+#include "adversary/profile.hpp"
+
+namespace bzc {
+
+/// One slice of the Byzantine budget and what it does in each stage.
+struct CoalitionSubset {
+  std::string name = "subset";
+  double share = 1.0;  ///< relative weight; sizes are normalised over the plan
+
+  BeaconAdversaryProfile beacon = BeaconAdversaryProfile::none();  ///< counting stage
+  AgreementAttackProfile walk = AgreementAttackProfile::adaptiveMinority();  ///< agreement stage
+};
+
+struct CoalitionPlan {
+  std::vector<CoalitionSubset> subsets;
+
+  /// Radius around the scenario victim for the combined cross-stage damage
+  /// score reported by mixed Pipeline/Agreement runs.
+  std::uint32_t scoreRadius = 2;
+
+  /// An empty plan is inert: every scenario behaves exactly as before.
+  [[nodiscard]] bool enabled() const noexcept { return !subsets.empty(); }
+
+  /// Two-subset convenience: `shareA` of the budget runs (beaconA, walkA),
+  /// the rest runs (beaconB, walkB).
+  [[nodiscard]] static CoalitionPlan split(const std::string& nameA, double shareA,
+                                           const BeaconAdversaryProfile& beaconA,
+                                           const AgreementAttackProfile& walkA,
+                                           const std::string& nameB,
+                                           const BeaconAdversaryProfile& beaconB,
+                                           const AgreementAttackProfile& walkB);
+};
+
+}  // namespace bzc

@@ -34,6 +34,10 @@ struct WalkToken {
   bool answering = false;
   bool compromised = false;    ///< adversary-controlled: the answer will be/was forged
   std::uint8_t answer = 0;     ///< valid once answering
+  std::uint8_t taintSubset = 0xff;  ///< coalition subset that tainted this token
+                                    ///< (0xff = none); lets a mixed coalition
+                                    ///< route forgeAnswer to the subset whose
+                                    ///< member did the tainting (DESIGN.md §9)
   std::uint32_t hopsLeft = 0;  ///< outbound hops still to take
   PathRef path = kNullPath;    ///< reverse route, arena-pooled (O(1) token copy)
   Rng stream{};                ///< this token's private forwarding stream; the NSDMI

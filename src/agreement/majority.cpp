@@ -27,7 +27,9 @@ using Engine = SyncEngine<WalkToken>;
 
 AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
                                       const std::vector<double>& estimates,
-                                      const AgreementParams& params, Rng& rng) {
+                                      const AgreementParams& params, Rng& rng,
+                                      WalkAdversary* adversaryOverride,
+                                      Coalition* sharedCoalition) {
   const NodeId n = g.numNodes();
   BZC_REQUIRE(byz.numNodes() == n, "byzantine set size mismatch");
   BZC_REQUIRE(estimates.size() == n, "estimate vector size mismatch");
@@ -70,9 +72,14 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
 
   Engine engine(g, byz);
   PathArena arena;
-  Coalition coalition;
-  const std::unique_ptr<WalkAdversary> adversary =
-      makeWalkAdversary(params.attack, g, byz, params.victim);
+  // Trial-local blackboard and profile-selected strategy unless the caller
+  // injected them (mixed coalitions, cross-stage collusion — DESIGN.md §9).
+  Coalition localCoalition;
+  Coalition& coalition = sharedCoalition != nullptr ? *sharedCoalition : localCoalition;
+  const std::unique_ptr<WalkAdversary> owned =
+      adversaryOverride == nullptr ? makeWalkAdversary(params.attack, g, byz, params.victim)
+                                   : nullptr;
+  WalkAdversary& strategy = adversaryOverride != nullptr ? *adversaryOverride : *owned;
   std::size_t curOnes = ones;
 
   std::vector<std::uint32_t> tally(n, 0);
@@ -104,7 +111,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
           continue;
         }
         if (byz.contains(v)) {
-          const TokenAction act = adversary->onAnswerRelay(ctxAt(v), t);
+          const TokenAction act = strategy.onAnswerRelay(ctxAt(v), t);
           if (act.op == TokenAction::Op::Drop) {
             ++out.adversary.droppedAnswers;
             continue;
@@ -126,7 +133,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
         continue;
       }
       if (byz.contains(v)) {
-        const TokenAction act = adversary->onQuery(ctxAt(v), t);
+        const TokenAction act = strategy.onQuery(ctxAt(v), t);
         BZC_ASSERT(act.op != TokenAction::Op::Redirect);  // queries follow their walk
         if (act.op == TokenAction::Op::Drop) {
           ++out.adversary.droppedQueries;
@@ -141,7 +148,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
           // transit, or the walk ended on a Byzantine node. Forge before
           // marking — strategies distinguish targeted (tainted) tokens from
           // untargeted ones that merely ended on the adversary.
-          t.answer = adversary->forgeAnswer(ctxAt(v), t);
+          t.answer = strategy.forgeAnswer(ctxAt(v), t);
           t.compromised = true;
           ++out.adversary.forgedAnswers;
         } else {
@@ -233,9 +240,10 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
 
 AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
                                       double uniformEstimate, const AgreementParams& params,
-                                      Rng& rng) {
+                                      Rng& rng, WalkAdversary* adversaryOverride,
+                                      Coalition* sharedCoalition) {
   return runMajorityAgreement(g, byz, std::vector<double>(g.numNodes(), uniformEstimate), params,
-                              rng);
+                              rng, adversaryOverride, sharedCoalition);
 }
 
 }  // namespace bzc

@@ -68,14 +68,22 @@ struct AgreementOutcome {
 /// Runs the protocol with per-node estimates L_u of log n (nodes with larger
 /// estimates keep iterating after the others freeze, as happens when the
 /// estimates come from a counting protocol). Byzantine nodes answer sample
-/// queries adversarially.
+/// queries adversarially. By default the strategy is materialised from
+/// params.attack and the Coalition blackboard is trial-local; a caller may
+/// inject both — the mixed-coalition path passes a per-trial dispatcher
+/// strategy, and the pipeline passes the blackboard the counting stage
+/// already wrote to, so subsets collude across stages (DESIGN.md §9).
 [[nodiscard]] AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
                                                     const std::vector<double>& estimates,
-                                                    const AgreementParams& params, Rng& rng);
+                                                    const AgreementParams& params, Rng& rng,
+                                                    WalkAdversary* adversaryOverride = nullptr,
+                                                    Coalition* sharedCoalition = nullptr);
 
 /// Convenience overload: every honest node uses the same estimate L.
 [[nodiscard]] AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
                                                     double uniformEstimate,
-                                                    const AgreementParams& params, Rng& rng);
+                                                    const AgreementParams& params, Rng& rng,
+                                                    WalkAdversary* adversaryOverride = nullptr,
+                                                    Coalition* sharedCoalition = nullptr);
 
 }  // namespace bzc

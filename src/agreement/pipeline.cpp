@@ -1,14 +1,19 @@
 #include "agreement/pipeline.hpp"
 
+#include "adversary/beacon/strategies.hpp"
+
 namespace bzc {
 
 PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz,
-                                         const BeaconAttackProfile& attack,
+                                         const PipelineAdversaries& adversaries,
                                          const PipelineParams& params, Rng& rng) {
   PipelineOutcome out;
+  // One blackboard for the whole trial: counting-stage hits and the
+  // walk-stage bit lock land on the same Coalition (DESIGN.md §9).
+  Coalition coalition;
   Rng countRng = rng.fork(0xc0);
-  out.counting = runBeaconCounting(g, byz, attack, params.counting, params.countingLimits,
-                                   countRng);
+  out.counting = runBeaconCounting(g, byz, adversaries.beacon, params.counting,
+                                   params.countingLimits, countRng, &coalition);
 
   std::vector<double> estimates(g.numNodes(), params.fallbackEstimate);
   for (NodeId u = 0; u < g.numNodes(); ++u) {
@@ -18,12 +23,21 @@ PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz
   }
 
   Rng agreeRng = rng.fork(0xa9);
-  out.agreement = runMajorityAgreement(g, byz, estimates, params.agreement, agreeRng);
+  out.agreement = runMajorityAgreement(g, byz, estimates, params.agreement, agreeRng,
+                                       adversaries.walk, &coalition);
   out.totalRounds = out.counting.result.totalRounds + out.agreement.totalRounds;
   out.totalMessages =
       out.counting.result.meter.totalMessages() + out.agreement.meter.totalMessages();
   out.totalBits = out.counting.result.meter.totalBits() + out.agreement.meter.totalBits();
   return out;
+}
+
+PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz,
+                                         const BeaconAttackProfile& attack,
+                                         const PipelineParams& params, Rng& rng) {
+  const std::unique_ptr<BeaconAdversary> beacon =
+      makeBeaconAdversary(attack.toAdversaryProfile(), g, byz);
+  return runCountingThenAgreement(g, byz, PipelineAdversaries{*beacon, nullptr}, params, rng);
 }
 
 }  // namespace bzc

@@ -31,8 +31,24 @@ struct PipelineOutcome {
   std::uint64_t totalBits = 0;       ///< honest bits across both stages
 };
 
+/// Per-trial stage adversaries for the strategy-driven entry point. Both
+/// stages run against one Coalition blackboard owned by the pipeline, so a
+/// counting-stage subset's hits/bit-lock are visible to the walk-stage
+/// subset of the same trial (mixed coalitions, DESIGN.md §9).
+struct PipelineAdversaries {
+  BeaconAdversary& beacon;  ///< counting-stage behaviour
+  WalkAdversary* walk = nullptr;  ///< agreement-stage behaviour; nullptr =
+                                  ///< materialise from params.agreement.attack
+};
+
 [[nodiscard]] PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz,
                                                        const BeaconAttackProfile& attack,
+                                                       const PipelineParams& params, Rng& rng);
+
+/// Strategy-driven form: both stage adversaries are caller-materialised
+/// (the mixed-coalition path), sharing one cross-stage Coalition.
+[[nodiscard]] PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz,
+                                                       const PipelineAdversaries& adversaries,
                                                        const PipelineParams& params, Rng& rng);
 
 }  // namespace bzc

@@ -24,14 +24,20 @@ DynamicOverlay::DynamicOverlay(const Graph& initial, const ByzantineSet& byz, No
               "initial overlay degree exceeds the repair target");
   members_.reserve(n);
   degree_.reserve(n);
+  incidence_.resize(n);
   for (NodeId u = 0; u < n; ++u) {
     members_.push_back({u, byz.contains(u)});
     degree_.push_back(initial.degree(u));
+    incidence_[u].reserve(initial.degree(u));
     if (byz.contains(u)) ++byzCount_;
   }
   nextId_ = n;
   edges_.reserve(initial.numEdges());
-  for (const auto& [u, v] : initial.edgeList()) edges_.emplace_back(u, v);
+  for (const auto& [u, v] : initial.edgeList()) {
+    incidence_[u].push_back(edges_.size());
+    incidence_[v].push_back(edges_.size());
+    edges_.emplace_back(u, v);
+  }
 }
 
 std::size_t DynamicOverlay::indexOf(std::uint64_t id) const {
@@ -51,16 +57,54 @@ NodeId DynamicOverlay::degreeOf(std::uint64_t id) const {
 
 void DynamicOverlay::addEdge(std::uint64_t a, std::uint64_t b) {
   BZC_ASSERT(a != b);
+  const std::size_t ia = indexOf(a);
+  const std::size_t ib = indexOf(b);
+  incidence_[ia].push_back(edges_.size());
+  incidence_[ib].push_back(edges_.size());
   edges_.emplace_back(a, b);
-  ++degree_[indexOf(a)];
-  ++degree_[indexOf(b)];
+  ++degree_[ia];
+  ++degree_[ib];
+}
+
+void DynamicOverlay::incidenceRemove(std::size_t memberIdx, std::size_t edgeIndex) {
+  std::vector<std::size_t>& list = incidence_[memberIdx];
+  for (std::size_t k = 0; k < list.size(); ++k) {
+    if (list[k] == edgeIndex) {
+      list[k] = list.back();
+      list.pop_back();
+      return;
+    }
+  }
+  BZC_ASSERT(false);  // the index is maintained on every mutation
+}
+
+void DynamicOverlay::incidenceReplace(std::size_t memberIdx, std::size_t from, std::size_t to) {
+  for (std::size_t& e : incidence_[memberIdx]) {
+    if (e == from) {
+      e = to;
+      return;
+    }
+  }
+  BZC_ASSERT(false);
 }
 
 void DynamicOverlay::removeEdgeAt(std::size_t index) {
   const auto [a, b] = edges_[index];
-  --degree_[indexOf(a)];
-  --degree_[indexOf(b)];
-  edges_[index] = edges_.back();
+  const std::size_t ia = indexOf(a);
+  const std::size_t ib = indexOf(b);
+  --degree_[ia];
+  --degree_[ib];
+  incidenceRemove(ia, index);
+  incidenceRemove(ib, index);
+  const std::size_t last = edges_.size() - 1;
+  if (index != last) {
+    // Swap-pop: the moved edge changes position; patch its endpoints' index
+    // entries (each edge position appears exactly once per endpoint list).
+    edges_[index] = edges_[last];
+    const auto [c, d] = edges_[index];
+    incidenceReplace(indexOf(c), last, index);
+    incidenceReplace(indexOf(d), last, index);
+  }
   edges_.pop_back();
 }
 
@@ -96,6 +140,9 @@ std::uint64_t DynamicOverlay::join(bool byzantine, Rng& rng) {
   const std::size_t pos = static_cast<std::size_t>(it - members_.begin());
   members_.insert(it, {id, byzantine});
   degree_.insert(degree_.begin() + static_cast<std::ptrdiff_t>(pos), 0);
+  // Note: an explicit empty vector — a braced `{}` here would select the
+  // initializer_list overload and insert nothing.
+  incidence_.emplace(incidence_.begin() + static_cast<std::ptrdiff_t>(pos));
   if (byzantine) ++byzCount_;
 
   // First hand the newcomer to nodes already missing stubs (repairs earlier
@@ -125,23 +172,22 @@ bool DynamicOverlay::leave(std::uint64_t id, Rng& rng) {
   if (pos == kNpos) return false;
 
   // Collect and delete the incident edges, freeing one stub per neighbour.
-  // The full-edge-list sweep is O(m) per departure — fine at the overlay
-  // sizes the churn benches run (n <= a few k; protocol recounts dominate),
-  // quadratic for mass departures at 64k+: the ROADMAP names an
-  // incidence-indexed overlay as the lever if churn sweeps ever scale there.
+  // The incidence index makes this O(d²) per departure (each removal patches
+  // a handful of short per-member lists) instead of the old O(m) edge-list
+  // sweep — the ROADMAP perf lever that was quadratic for mass departures at
+  // 16k+ members (DESIGN.md §8).
   std::vector<std::uint64_t> stubs;
   stubs.reserve(degree_[pos]);
-  for (std::size_t e = 0; e < edges_.size();) {
-    if (edges_[e].first == id || edges_[e].second == id) {
-      stubs.push_back(edges_[e].first == id ? edges_[e].second : edges_[e].first);
-      removeEdgeAt(e);  // swap-pop: re-examine index e
-    } else {
-      ++e;
-    }
+  while (!incidence_[pos].empty()) {
+    const std::size_t e = incidence_[pos].back();
+    const auto [a, b] = edges_[e];
+    stubs.push_back(a == id ? b : a);
+    removeEdgeAt(e);  // also erases e from incidence_[pos]
   }
   if (members_[pos].byzantine) --byzCount_;
   members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(pos));
   degree_.erase(degree_.begin() + static_cast<std::ptrdiff_t>(pos));
+  incidence_.erase(incidence_.begin() + static_cast<std::ptrdiff_t>(pos));
 
   pairStubs(stubs, rng);
   return true;
@@ -181,6 +227,9 @@ void DynamicOverlay::rewire(Rng& rng) {
     if (a == d || c == b) continue;  // swap would create a self-loop
     edges_[i] = {a, d};
     edges_[j] = {c, b};
+    // b's stub moved from edge i to edge j, d's the other way round.
+    incidenceReplace(indexOf(b), i, j);
+    incidenceReplace(indexOf(d), j, i);
     return;  // degrees unchanged: every endpoint keeps one stub per edge
   }
 }

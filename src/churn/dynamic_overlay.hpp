@@ -102,6 +102,8 @@ class DynamicOverlay {
   [[nodiscard]] std::size_t indexOf(std::uint64_t id) const;  ///< npos when not live
   void addEdge(std::uint64_t a, std::uint64_t b);
   void removeEdgeAt(std::size_t index);
+  void incidenceRemove(std::size_t memberIdx, std::size_t edgeIndex);
+  void incidenceReplace(std::size_t memberIdx, std::size_t from, std::size_t to);
   /// Splices `node` into an edge not incident to it: (a,b) -> (a,node)+(node,b).
   /// Returns false when no such edge exists.
   bool spliceInto(std::uint64_t node, Rng& rng);
@@ -115,6 +117,10 @@ class DynamicOverlay {
   std::vector<OverlayMember> members_;            ///< sorted by id
   std::vector<NodeId> degree_;                    ///< parallel to members_
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edges_;  ///< global ids, a != b
+  /// Per-member incidence index (edge positions in edges_), parallel to
+  /// members_. Turns leave() from a full edge-list sweep into O(d) lookups —
+  /// the ROADMAP perf lever for mass departures at 16k+ members.
+  std::vector<std::vector<std::size_t>> incidence_;
 };
 
 }  // namespace bzc

@@ -23,7 +23,25 @@ constexpr std::uint64_t kChurnRepairStream = 0xc4e1;
 constexpr std::uint64_t kChurnGapStream = 0xc4e2;
 constexpr std::uint64_t kChurnRecountStream = 0xc4e3;
 
-constexpr unsigned kGapIterations = 32;  ///< power-iteration depth for the drift probe
+constexpr unsigned kGapIterations = 32;      ///< power-iteration depth, cold start
+constexpr unsigned kGapIterationsWarm = 12;   ///< depth when seeded by the previous epoch
+                                             ///< (identical gaps within tolerance; pinned)
+
+/// Carries the previous epoch's Fiedler vector onto this epoch's membership:
+/// values follow global ids (both id lists are ascending — members_ is kept
+/// sorted), departed ids drop out, new ids start at zero and get filled in by
+/// the deflation + power iteration.
+std::vector<double> remapByGlobalId(const std::vector<double>& prev,
+                                    const std::vector<std::uint64_t>& prevIds,
+                                    const std::vector<std::uint64_t>& curIds) {
+  std::vector<double> warm(curIds.size(), 0.0);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < curIds.size(); ++i) {
+    while (j < prevIds.size() && prevIds[j] < curIds[i]) ++j;
+    if (j < prevIds.size() && prevIds[j] == curIds[i]) warm[i] = prev[j];
+  }
+  return warm;
+}
 
 /// ln-scale estimate a recount handed the honest nodes, from the protocol
 /// family's own reporting: counting protocols expose mean L_u / ln n through
@@ -62,6 +80,7 @@ const char* churnExtraSlotName(std::size_t slot) {
     case kChurnMeanGap: return "meanGap";
     case kChurnGapDrift: return "gapDrift";
     case kChurnLastAgree: return "lastAgree";
+    case kChurnGapProbeIters: return "gapProbeIters";
   }
   return "?";
 }
@@ -98,6 +117,11 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
   double firstGap = 0.0, lastGap = 0.0;
   std::uint64_t joins = 0, leaves = 0, rewires = 0;
   std::uint32_t recounts = 0;
+  // Spectral-probe warm-start carry: the previous epoch's Fiedler vector and
+  // the global ids its entries belong to.
+  std::vector<double> gapState;
+  std::vector<std::uint64_t> gapStateIds;
+  std::uint64_t gapProbeIters = 0;
 
   for (std::uint32_t epoch = 1; epoch <= spec.churn.epochs; ++epoch) {
     EpochReport report;
@@ -134,7 +158,28 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
     report.byzCount = snap.byz.count();
 
     Rng gapRng = gapBase.fork(epoch);
-    report.spectralGap = spectralGapEstimate(snap.graph, kGapIterations, gapRng);
+    // Epoch 1 reuses the trial's original graph, whose dense ids are their
+    // global ids; later epochs carry the snapshot's id map.
+    std::vector<std::uint64_t> curIds;
+    if (epoch == 1) {
+      curIds.resize(liveN);
+      for (NodeId u = 0; u < liveN; ++u) curIds[u] = u;
+    } else {
+      curIds = snap.denseToId;
+    }
+    std::vector<double> probeState;
+    if (spec.churn.gapWarmStart && !gapState.empty()) {
+      probeState = remapByGlobalId(gapState, gapStateIds, curIds);
+    }
+    // Depth and the callee's warm-vs-cold decision share one predicate, so a
+    // reduced-depth probe can never silently restart cold (e.g. after a full
+    // membership turnover zeroed the carry).
+    const bool warm = fiedlerWarmStartUsable(probeState, liveN);
+    const unsigned probeDepth = warm ? kGapIterationsWarm : kGapIterations;
+    report.spectralGap = spectralGapEstimate(snap.graph, probeDepth, gapRng, &probeState);
+    gapProbeIters += probeDepth;
+    gapState = std::move(probeState);
+    gapStateIds = std::move(curIds);
     gapSum += report.spectralGap;
     lastGap = report.spectralGap;
     if (epoch == 1) firstGap = report.spectralGap;
@@ -207,6 +252,7 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
   total.extra[kChurnMeanGap] = gapSum / epochsRun;
   total.extra[kChurnGapDrift] = lastGap - firstGap;
   total.extra[kChurnLastAgree] = lastAgree;
+  total.extra[kChurnGapProbeIters] = static_cast<double>(gapProbeIters);
   return result;
 }
 

@@ -50,7 +50,9 @@ enum ChurnExtraSlot : std::size_t {
   kChurnMeanGap = 13,       ///< mean spectral-gap estimate across epochs
   kChurnGapDrift = 14,      ///< last epoch's gap minus epoch 1's
   kChurnLastAgree = 15,     ///< last recount's fracAgreeing (Agreement/Pipeline; else 0)
-  kChurnExtraSlots = 16,
+  kChurnGapProbeIters = 16, ///< total power iterations the gap probes spent
+                            ///< (the Fiedler warm start's saving shows here)
+  kChurnExtraSlots = 17,
 };
 
 /// Names for the slots above, aligned by index (bench JSON labelling).

@@ -1,6 +1,35 @@
 #include "counting/beacon/attacks.hpp"
 
+#include "support/require.hpp"
+
 namespace bzc {
+
+BeaconAdversaryProfile BeaconAttackProfile::toAdversaryProfile() const {
+  const bool defaultRelays = relayBeacons && relayContinues;
+  BeaconAdversaryProfile profile;
+  if (forgeBeacons && tamperRelayedPaths && spamContinues && defaultRelays) {
+    profile = BeaconAdversaryProfile::full(fakePrefixLength);
+  } else if (forgeBeacons && !tamperRelayedPaths && !spamContinues && defaultRelays) {
+    profile = forgeRadius > 0
+                  ? BeaconAdversaryProfile::targetedFlooder(victim, forgeRadius, fakePrefixLength)
+                  : BeaconAdversaryProfile::flooder(fakePrefixLength);
+  } else if (!forgeBeacons && tamperRelayedPaths && !spamContinues && defaultRelays) {
+    profile = BeaconAdversaryProfile::tamperer(fakePrefixLength);
+  } else if (!forgeBeacons && !tamperRelayedPaths && !spamContinues && !relayBeacons &&
+             !relayContinues) {
+    profile = BeaconAdversaryProfile::suppressor();
+  } else if (!forgeBeacons && !tamperRelayedPaths && spamContinues && defaultRelays) {
+    profile = BeaconAdversaryProfile::continueSpammer();
+  } else if (!forgeBeacons && !tamperRelayedPaths && !spamContinues && defaultRelays) {
+    profile = BeaconAdversaryProfile::none();
+  } else {
+    BZC_REQUIRE(false,
+                "BeaconAttackProfile flags match no gallery preset; use a "
+                "BeaconAdversaryProfile (src/adversary/beacon/) instead");
+  }
+  if (!name.empty()) profile.name = name;
+  return profile;
+}
 
 BeaconAttackProfile BeaconAttackProfile::none() {
   BeaconAttackProfile p;

@@ -1,6 +1,7 @@
-// Adversary strategies against Algorithm 2.
+// Legacy flag-bundle adversary description for Algorithm 2 — now a thin
+// compatibility shim over the beacon-adversary gallery.
 //
-// The model is full-information: the adversary sees all state. The strategies
+// The model is full-information: the adversary sees all state. The presets
 // below are the concrete worst cases the paper's analysis singles out:
 //
 //  - flooder():     forge a fresh beacon at every Byzantine node in every
@@ -15,10 +16,19 @@
 //                   quiesce (stresses the exit rule; decisions stay correct,
 //                   termination does not happen — cf. Remark 3).
 //  - full():        flooder + tamperer + continue spam.
+//
+// Since the beacon-adversary subsystem landed (src/adversary/beacon/,
+// DESIGN.md §9), Byzantine counting-stage behaviour is a BeaconAdversary
+// strategy; the protocol resolves this profile to its gallery equivalent via
+// toAdversaryProfile() — pinned bit-identical for every preset. New scenarios
+// should use BeaconAdversaryProfile directly; this struct exists so flag-era
+// call sites and goldens keep working unchanged.
 #pragma once
 
 #include <cstdint>
 #include <string>
+
+#include "adversary/beacon/profile.hpp"
 
 namespace bzc {
 
@@ -47,6 +57,12 @@ struct BeaconAttackProfile {
   [[nodiscard]] static BeaconAttackProfile full();
   [[nodiscard]] static BeaconAttackProfile targetedFlooder(std::uint32_t victim,
                                                            std::uint32_t radius = 4);
+
+  /// Resolves the flag bundle to its gallery strategy profile. Every preset
+  /// maps to a dedicated strategy class; ad-hoc flag combinations outside the
+  /// preset space have no legacy users and are rejected — express those as a
+  /// BeaconAdversaryProfile (or a new strategy class) instead.
+  [[nodiscard]] BeaconAdversaryProfile toAdversaryProfile() const;
 };
 
 }  // namespace bzc

@@ -4,9 +4,9 @@
 
 namespace bzc {
 
-std::vector<PublicId> PathArena::materialize(PathRef path) const {
+std::vector<PublicId> BeaconPathArena::materialize(BeaconPathRef path) const {
   std::vector<PublicId> ids;
-  for (PathRef p = path; p != kNoPath; p = nodes_[p].parent) ids.push_back(nodes_[p].id);
+  for (BeaconPathRef p = path; p != kNoBeaconPath; p = nodes_[p].parent) ids.push_back(nodes_[p].id);
   std::reverse(ids.begin(), ids.end());
   return ids;
 }

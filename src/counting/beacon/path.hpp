@@ -16,44 +16,44 @@
 
 namespace bzc {
 
-/// Index into PathArena; kNoPath denotes the empty path.
-using PathRef = std::int32_t;
-inline constexpr PathRef kNoPath = -1;
+/// Index into BeaconPathArena; kNoBeaconPath denotes the empty path.
+using BeaconPathRef = std::int32_t;
+inline constexpr BeaconPathRef kNoBeaconPath = -1;
 
-class PathArena {
+class BeaconPathArena {
  public:
-  /// Appends `id` to `parent` (which may be kNoPath), returning the new path.
-  [[nodiscard]] PathRef append(PathRef parent, PublicId id) {
-    BZC_ASSERT(parent == kNoPath || static_cast<std::size_t>(parent) < nodes_.size());
+  /// Appends `id` to `parent` (which may be kNoBeaconPath), returning the new path.
+  [[nodiscard]] BeaconPathRef append(BeaconPathRef parent, PublicId id) {
+    BZC_ASSERT(parent == kNoBeaconPath || static_cast<std::size_t>(parent) < nodes_.size());
     nodes_.push_back({id, parent});
-    return static_cast<PathRef>(nodes_.size() - 1);
+    return static_cast<BeaconPathRef>(nodes_.size() - 1);
   }
 
   /// Number of IDs on the path.
-  [[nodiscard]] std::uint32_t length(PathRef path) const {
+  [[nodiscard]] std::uint32_t length(BeaconPathRef path) const {
     std::uint32_t len = 0;
-    for (PathRef p = path; p != kNoPath; p = nodes_[p].parent) ++len;
+    for (BeaconPathRef p = path; p != kNoBeaconPath; p = nodes_[p].parent) ++len;
     return len;
   }
 
   /// Last ID on the path (the most recently appended hop). Path must be
   /// nonempty.
-  [[nodiscard]] PublicId last(PathRef path) const {
-    BZC_REQUIRE(path != kNoPath, "empty path has no last element");
+  [[nodiscard]] PublicId last(BeaconPathRef path) const {
+    BZC_REQUIRE(path != kNoBeaconPath, "empty path has no last element");
     return nodes_[path].id;
   }
 
   /// IDs in path order (origin side first).
-  [[nodiscard]] std::vector<PublicId> materialize(PathRef path) const;
+  [[nodiscard]] std::vector<PublicId> materialize(BeaconPathRef path) const;
 
   /// Visits the path *prefix*: every ID except the last `suffixLen` ones,
   /// i.e. the entries Line 20 of the pseudocode calls S. Visitor returns
   /// false to stop early; walkPrefix returns false iff stopped early.
   template <typename Visitor>
-  bool walkPrefix(PathRef path, std::uint32_t suffixLen, Visitor&& visit) const {
+  bool walkPrefix(BeaconPathRef path, std::uint32_t suffixLen, Visitor&& visit) const {
     // Entries are reached suffix-first; skip the first `suffixLen` of them.
     std::uint32_t fromEnd = 0;
-    for (PathRef p = path; p != kNoPath; p = nodes_[p].parent) {
+    for (BeaconPathRef p = path; p != kNoBeaconPath; p = nodes_[p].parent) {
       if (fromEnd >= suffixLen) {
         if (!visit(nodes_[p].id)) return false;
       }
@@ -68,7 +68,7 @@ class PathArena {
  private:
   struct Node {
     PublicId id;
-    PathRef parent;
+    BeaconPathRef parent;
   };
   std::vector<Node> nodes_;
 };

@@ -5,8 +5,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "adversary/beacon/strategies.hpp"
 #include "counting/beacon/path.hpp"
-#include "graph/bfs.hpp"
 #include "runtime/sync_engine.hpp"
 #include "support/require.hpp"
 
@@ -18,13 +18,10 @@ namespace {
 constexpr std::size_t kHeaderBits = 16;
 constexpr std::size_t kContinueBits = 16;
 
-struct Beacon {
-  PublicId origin = kNoPublicId;
-  PathRef path = kNoPath;  ///< path *as sent*; the receiver appends the sender
-  std::uint32_t len = 0;   ///< number of IDs on `path`
-};
-
-using Engine = SyncEngine<Beacon>;
+// The wire payload is the adversary-visible BeaconFrame (origin + path *as
+// sent*; the receiver appends the sender's ID), so the protocol and the
+// strategies in src/adversary/beacon/ share one message representation.
+using Engine = SyncEngine<BeaconFrame>;
 
 /// Bits of a beacon message carrying `pathLen` IDs plus the origin ID.
 [[nodiscard]] std::size_t beaconBits(std::uint32_t pathLen) {
@@ -33,8 +30,9 @@ using Engine = SyncEngine<Beacon>;
 
 /// Line 21 check for the received message ⟨beacon, o, Q⟩ from `senderPub`:
 /// S = all but the last `suffix` entries of Q' = Q + [sender] must avoid BL.
-[[nodiscard]] bool pathAcceptable(const std::unordered_set<PublicId>& bl, const PathArena& arena,
-                                  const Beacon& beacon, PublicId senderPub, std::uint32_t suffix) {
+[[nodiscard]] bool pathAcceptable(const std::unordered_set<PublicId>& bl,
+                                  const BeaconPathArena& arena, const BeaconFrame& beacon,
+                                  PublicId senderPub, std::uint32_t suffix) {
   if (bl.empty()) return true;
   if (suffix == 0 && bl.count(senderPub) > 0) return false;
   const std::uint32_t effectiveSuffix = suffix > 0 ? suffix - 1 : 0;
@@ -62,15 +60,15 @@ struct RunState {
   // Per-iteration state.
   std::vector<char> hasShortest;
   std::vector<char> ownBeacon;  // shortestPath == (u) itself (Line 7)
-  std::vector<Beacon> shortest;
+  std::vector<BeaconFrame> shortest;
   std::vector<char> receivedContinue;
 };
 
 }  // namespace
 
 BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
-                                const BeaconAttackProfile& attack, const BeaconParams& params,
-                                const BeaconLimits& limits, Rng& rng) {
+                                BeaconAdversary& adversary, const BeaconParams& params,
+                                const BeaconLimits& limits, Rng& rng, Coalition* coalition) {
   params.validate();
   const NodeId n = g.numNodes();
   BZC_REQUIRE(n >= 2, "network too small");
@@ -91,33 +89,21 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
   out.result.decisions.assign(n, {});
   out.stats.decidedPhase.assign(n, 0);
 
-  // Targeted forging: restrict the forging set to the victim's vicinity.
-  std::vector<char> forges(n, 0);
-  if (attack.forgeBeacons) {
-    const std::vector<std::uint32_t> distToVictim =
-        attack.forgeRadius > 0 ? bfsDistances(g, static_cast<NodeId>(attack.victim % n))
-                               : std::vector<std::uint32_t>{};
-    for (NodeId b : byz.members()) {
-      forges[b] = (attack.forgeRadius == 0 || distToVictim[b] <= attack.forgeRadius) ? 1 : 0;
-    }
-  }
-
   RunState st(n);
-  PathArena arena;
+  BeaconPathArena arena;
   Engine engine(g, byz, maxRounds);
 
   std::size_t undecidedHonest = n - byz.count();
 
-  auto makeForgedBeacon = [&](std::uint32_t prefixLen) {
-    Beacon forged;
-    forged.origin = fakeRng.next();
-    forged.path = kNoPath;
-    for (std::uint32_t k = 0; k < prefixLen; ++k) {
-      forged.path = arena.append(forged.path, fakeRng.next());
-    }
-    forged.len = prefixLen;
-    ++out.stats.beaconsForged;
-    return forged;
+  // Adversary wiring: one strategy instance drives every Byzantine node. The
+  // Coalition blackboard is trial-shared when the caller passes one — the
+  // pipeline hands the same object to the agreement stage so both stages
+  // collude (DESIGN.md §9).
+  Coalition localCoalition;
+  Coalition& board = coalition != nullptr ? *coalition : localCoalition;
+  BeaconObservables obs;
+  const auto ctxAt = [&](NodeId at, Round r) {
+    return BeaconContext{at, r, g, arena, board, fakeRng, out.stats.adversary, obs};
   };
 
   bool capped = false;
@@ -157,11 +143,21 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       std::fill(st.hasShortest.begin(), st.hasShortest.end(), 0);
       std::fill(st.ownBeacon.begin(), st.ownBeacon.end(), 0);
 
-      // --- Line 5-11: activations, queued as round-1 broadcasts. ---
+      // Observables refresh once per iteration, before any hook fires, so
+      // every strategy decision reads committed run state only.
+      obs.phase = phase;
+      obs.iteration = iter;
+      obs.undecidedHonest = undecidedHonest;
+      obs.blacklistInsertions = out.stats.blacklistInsertions;
+      obs.honestBeacons = out.stats.beaconsGenerated;
+
+      // --- Line 5-11: activations, queued as round-1 broadcasts. Byzantine
+      // --- nodes get the iteration-boundary forge hook in the same slot. ---
       for (NodeId u = 0; u < n; ++u) {
         if (byz.contains(u)) {
-          if (forges[u]) {
-            const Beacon forged = makeForgedBeacon(attack.fakePrefixLength);
+          BeaconFrame forged;
+          if (adversary.forgeBeacon(ctxAt(u, 0), forged)) {
+            ++out.stats.adversary.beaconsForged;
             engine.broadcast(u, forged, beaconBits(forged.len));
           }
           continue;
@@ -169,7 +165,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         if (!st.participating[u]) continue;
         const double p = params.activationProbability(phase, g.degree(u));
         if (actRng.bernoulli(p)) {
-          engine.broadcast(u, Beacon{ids.publicId(u), kNoPath, 0}, beaconBits(0));
+          engine.broadcast(u, BeaconFrame{ids.publicId(u), kNoBeaconPath, 0}, beaconBits(0));
           st.hasShortest[u] = 1;  // Line 7: shortestPath <- (u)
           st.ownBeacon[u] = 1;
           ++out.stats.beaconsGenerated;
@@ -179,12 +175,21 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       // --- Beacon window: i+2 rounds of flooding on the engine. ---
       auto beaconStep = [&](NodeId v, Round r, std::span<const Engine::Delivery> box) {
         if (byz.contains(v)) {
-          if (attack.relayBeacons && r < beaconWindow) {
-            Beacon fwd;
-            if (attack.tamperRelayedPaths) {
-              fwd = makeForgedBeacon(attack.fakePrefixLength);
+          if (r < beaconWindow) {
+            const Engine::Delivery& in = box.front();
+            const BeaconTransit act = adversary.onBeaconRelay(
+                ctxAt(v, r), {in.sender, ids.publicId(in.sender), in.payload});
+            if (act.op == BeaconTransit::Op::Drop) {
+              ++out.stats.adversary.relaysSuppressed;
+              return;
+            }
+            BeaconFrame fwd;
+            if (act.op == BeaconTransit::Op::Replace) {
+              ++out.stats.adversary.relaysTampered;
+              ++out.stats.adversary.beaconsForged;
+              fwd = act.replacement;
             } else {
-              const Engine::Delivery& in = box.front();
+              // Honest-looking relay: append the sender's unfakeable ID.
               fwd = in.payload;
               fwd.path = arena.append(fwd.path, ids.publicId(in.sender));
               ++fwd.len;
@@ -221,7 +226,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
           }
         }
         // Line 16: the receiver appends the sender's (unfakeable) ID.
-        Beacon forwarded = chosen->payload;
+        BeaconFrame forwarded = chosen->payload;
         forwarded.path = arena.append(forwarded.path, ids.publicId(chosen->sender));
         ++forwarded.len;
         // Lines 20-25: update shortestPath with the first acceptable beacon.
@@ -265,17 +270,24 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       for (NodeId u = 0; u < n; ++u) {
         const bool honestSource = !byz.contains(u) && st.participating[u] && !st.decided[u] &&
                                   params.continueEnabled;
-        const bool byzSource = byz.contains(u) && attack.spamContinues;
+        const bool byzSource = byz.contains(u) && adversary.spamContinue(ctxAt(u, 0));
         if (!honestSource && !byzSource) continue;
         if (honestSource) ++out.stats.continueMessages;
+        if (byzSource) ++out.stats.adversary.continuesSpammed;
         st.receivedContinue[u] = 1;  // sources need no re-entry signal
-        engine.broadcast(u, Beacon{}, kContinueBits);
+        engine.broadcast(u, BeaconFrame{}, kContinueBits);
       }
       auto continueStep = [&](NodeId v, Round r, std::span<const Engine::Delivery>) {
         if (st.receivedContinue[v]) return;
         st.receivedContinue[v] = 1;
-        const bool relays = byz.contains(v) ? attack.relayContinues : st.participating[v] != 0;
-        if (relays && r < continueWindow) engine.broadcast(v, Beacon{}, kContinueBits);
+        bool relays;
+        if (byz.contains(v)) {
+          relays = adversary.onContinueRelay(ctxAt(v, r));
+          if (!relays && r < continueWindow) ++out.stats.adversary.continuesSuppressed;
+        } else {
+          relays = st.participating[v] != 0;
+        }
+        if (relays && r < continueWindow) engine.broadcast(v, BeaconFrame{}, kContinueBits);
       };
       const WindowResult continueRun = engine.runWindow(continueWindow, continueStep);
       engine.skipRounds(continueWindow - continueRun.roundsRun);
@@ -295,6 +307,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       static_cast<Round>(std::min<std::uint64_t>(engine.round(), 0xffffffffu));
   out.result.hitRoundCap = capped;
   out.result.meter = engine.releaseMeter();
+  out.stats.beaconsForged = out.stats.adversary.beaconsForged;
   if (!out.stats.quiesced) {
     // The phase loop may have ended by cap/maxPhase; re-check quiescence.
     bool anyParticipant = false;
@@ -307,6 +320,14 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
     out.stats.quiesced = !anyParticipant;
   }
   return out;
+}
+
+BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
+                                const BeaconAttackProfile& attack, const BeaconParams& params,
+                                const BeaconLimits& limits, Rng& rng) {
+  const std::unique_ptr<BeaconAdversary> adversary =
+      makeBeaconAdversary(attack.toAdversaryProfile(), g, byz);
+  return runBeaconCounting(g, byz, *adversary, params, limits, rng);
 }
 
 }  // namespace bzc

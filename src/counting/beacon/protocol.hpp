@@ -20,6 +20,7 @@
 //    analysis assumes i large enough that the floor is positive).
 #pragma once
 
+#include "adversary/beacon/beacon_adversary.hpp"
 #include "counting/beacon/attacks.hpp"
 #include "counting/beacon/params.hpp"
 #include "counting/common.hpp"
@@ -36,10 +37,12 @@ struct BeaconRunStats {
   Round roundsUntilAllDecided = 0;          ///< 0 if some honest node never decided
   bool quiesced = false;                    ///< every node stopped sending
   std::uint64_t beaconsGenerated = 0;       ///< honest activations (Line 5)
-  std::uint64_t beaconsForged = 0;          ///< adversarial injections
+  std::uint64_t beaconsForged = 0;          ///< adversarial injections (mirrors adversary stats)
   std::uint64_t blacklistInsertions = 0;    ///< total Line 32 insertions
   std::uint64_t continueMessages = 0;       ///< honest continue originations
   std::vector<std::uint32_t> decidedPhase;  ///< per node; 0 = undecided
+  /// What the counting-stage strategy did (extras-only; not fingerprinted).
+  BeaconAdversaryStats adversary;
 };
 
 struct BeaconOutcome {
@@ -47,9 +50,21 @@ struct BeaconOutcome {
   BeaconRunStats stats;
 };
 
-/// Runs Algorithm 2 on g with the given Byzantine set and adversary strategy.
-/// DecisionRecord::estimate is the decided phase i (the protocol's estimate
-/// of log n up to the constant factor Definition 2 allows).
+/// Runs Algorithm 2 on g driving Byzantine nodes through a BeaconAdversary
+/// strategy (src/adversary/beacon/, DESIGN.md §9). DecisionRecord::estimate
+/// is the decided phase i (the protocol's estimate of log n up to the
+/// constant factor Definition 2 allows). `coalition`, when non-null, is the
+/// trial-shared blackboard — the pipeline passes the same object to both
+/// stages so counting- and walk-stage subsets collude.
+[[nodiscard]] BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
+                                              BeaconAdversary& adversary,
+                                              const BeaconParams& params,
+                                              const BeaconLimits& limits, Rng& rng,
+                                              Coalition* coalition = nullptr);
+
+/// Legacy flag-bundle entry point: resolves `attack` to its gallery strategy
+/// (BeaconAttackProfile::toAdversaryProfile) and runs it — bit-identical to
+/// the pre-subsystem flag semantics, pinned by the beacon goldens.
 [[nodiscard]] BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
                                               const BeaconAttackProfile& attack,
                                               const BeaconParams& params,

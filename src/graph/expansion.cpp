@@ -181,10 +181,24 @@ SweepCut fiedlerSweep(const Graph& g, unsigned iterations, Rng& rng,
   return ascending.expansion <= descending.expansion ? ascending : descending;
 }
 
-double spectralGapEstimate(const Graph& g, unsigned iterations, Rng& rng) {
+bool fiedlerWarmStartUsable(const std::vector<double>& state, NodeId n) {
+  if (state.size() != n || n == 0) return false;
+  // A warm start must survive deflation: an (effectively) zero vector would
+  // freeze the iteration at zero.
+  double norm = 0.0;
+  for (double v : state) norm += v * v;
+  return norm > 1e-12;
+}
+
+double spectralGapEstimate(const Graph& g, unsigned iterations, Rng& rng,
+                           std::vector<double>* state) {
   const NodeId n = g.numNodes();
-  if (n < 2) return 0.0;
-  auto x = fiedlerVector(g, iterations, rng);
+  if (n < 2) {
+    if (state != nullptr) state->clear();
+    return 0.0;
+  }
+  const bool warm = state != nullptr && fiedlerWarmStartUsable(*state, n);
+  auto x = fiedlerVector(g, iterations, rng, warm ? state : nullptr);
   // Rayleigh quotient of W on the deflated vector approximates lambda2(W).
   std::vector<double> y(n);
   applyLazyWalk(g, x, y);
@@ -194,9 +208,13 @@ double spectralGapEstimate(const Graph& g, unsigned iterations, Rng& rng) {
     num += x[u] * y[u];
     den += x[u] * x[u];
   }
-  if (den < 1e-300) return 0.0;
-  const double lambda2 = num / den;
-  return 1.0 - lambda2;
+  const double gap = den < 1e-300 ? 0.0 : 1.0 - num / den;
+  if (state != nullptr) *state = std::move(x);
+  return gap;
+}
+
+double spectralGapEstimate(const Graph& g, unsigned iterations, Rng& rng) {
+  return spectralGapEstimate(g, iterations, rng, nullptr);
 }
 
 double sampledExpansionUpperBound(const Graph& g, unsigned samples, Rng& rng) {

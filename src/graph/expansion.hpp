@@ -64,6 +64,21 @@ struct SweepCut {
 /// walk matrix (in [0, 1/2]; larger means better expander).
 [[nodiscard]] double spectralGapEstimate(const Graph& g, unsigned iterations, Rng& rng);
 
+/// Whether `state` can seed the Fiedler power iteration for an n-node graph:
+/// right size and a norm that survives deflation. The single source of truth
+/// shared by spectralGapEstimate's stateful overload and callers that pick
+/// an iteration depth based on warm-vs-cold (the churn EpochRunner).
+[[nodiscard]] bool fiedlerWarmStartUsable(const std::vector<double>& state, NodeId n);
+
+/// Stateful variant for callers probing a slowly evolving graph (the churn
+/// EpochRunner): when fiedlerWarmStartUsable(*state, n) it seeds the power
+/// iteration (so far fewer iterations reach the same accuracy); on return
+/// `state` holds the computed Fiedler vector for the next probe. A
+/// null/mismatched/zero `state` falls back to the fresh random start and
+/// still writes the result back when `state` is non-null.
+[[nodiscard]] double spectralGapEstimate(const Graph& g, unsigned iterations, Rng& rng,
+                                         std::vector<double>* state);
+
 /// Upper-bounds h(G) by also trying `samples` random BFS-grown connected
 /// subsets (each <= n/2). Used by the T9 assumption-audit experiment.
 [[nodiscard]] double sampledExpansionUpperBound(const Graph& g, unsigned samples, Rng& rng);

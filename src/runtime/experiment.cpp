@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "adversary/coalition.hpp"
 #include "churn/epoch_runner.hpp"
 #include "counting/beacon/protocol.hpp"
 #include "graph/generators.hpp"
@@ -13,6 +14,25 @@
 #include "support/stats.hpp"
 
 namespace bzc {
+
+const char* agreementExtraSlotName(std::size_t slot) {
+  switch (slot) {
+    case kAgreementFracAgreeing: return "fracAgreeing";
+    case kAgreementCompromised: return "compromised";
+    case kAgreementRounds: return "agreementRounds";
+    case kAgreementMeanEstimate: return "meanEstimate";
+    case kAgreementAnswered: return "answered";
+    case kAgreementDropped: return "dropped";
+    case kAgreementFlipped: return "flipped";
+    case kAgreementMisrouted: return "misrouted";
+    case kAgreementForged: return "forged";
+    case kAgreementCoalitionHits: return "coalitionHits";
+    case kAgreementBeaconForged: return "beaconForged";
+    case kAgreementCoalitionSubsets: return "coalitionSubsets";
+    case kAgreementCombinedScore: return "combinedScore";
+  }
+  return "?";
+}
 
 Graph buildGraph(const GraphSpec& spec, Rng& rng) {
   switch (spec.kind) {
@@ -97,15 +117,58 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
   } trial{graph, byz, runRng};
   const NodeId n = trial.graph.numNodes();
 
+  // Mixed-coalition and gallery-native beacon adversaries are materialised
+  // per trial here, so both axes stay selectable purely from the spec.
+  const bool adversarial = spec.protocol == ProtocolKind::Beacon ||
+                           spec.protocol == ProtocolKind::Agreement ||
+                           spec.protocol == ProtocolKind::Pipeline;
+  const bool hasPlan = adversarial && spec.coalitionPlan.enabled();
+  const NodeId victim = spec.placement.victim;
+  CoalitionAssignment assignment;
+  if (hasPlan) assignment = partitionBudget(spec.coalitionPlan, trial.byz);
+  const auto makeSpecBeaconAdversary = [&]() -> std::unique_ptr<BeaconAdversary> {
+    if (hasPlan) {
+      return makeCoalitionBeaconAdversary(spec.coalitionPlan, assignment, trial.graph, trial.byz,
+                                          victim);
+    }
+    const BeaconAdversaryProfile profile = spec.beaconAdversary.kind != BeaconAttackKind::None
+                                               ? spec.beaconAdversary
+                                               : spec.beaconAttack.toAdversaryProfile();
+    return makeBeaconAdversary(anchorBeaconProfile(profile, victim), trial.graph, trial.byz);
+  };
+  const auto planExtras = [&](TrialOutcome& outcome, const PipelineOutcome* pipeline,
+                              const AgreementOutcome& agreement) {
+    outcome.extra[kAgreementBeaconForged] =
+        pipeline != nullptr
+            ? static_cast<double>(pipeline->counting.stats.adversary.beaconsForged)
+            : 0.0;
+    if (!hasPlan) return;
+    outcome.extra[kAgreementCoalitionSubsets] =
+        static_cast<double>(spec.coalitionPlan.subsets.size());
+    const std::uint32_t radius = spec.coalitionPlan.scoreRadius;
+    outcome.extra[kAgreementCombinedScore] =
+        pipeline != nullptr
+            ? combinedCoalitionScore(trial.graph, trial.byz, victim, radius,
+                                     pipeline->counting.result, spec.window,
+                                     agreement.finalValues, agreement.initialMajority)
+            : coalitionScore(trial.graph, trial.byz, victim, radius, agreement.finalValues,
+                             agreement.initialMajority);
+  };
+
   if (spec.protocol == ProtocolKind::Agreement) {
     const double L =
         spec.agreementEstimate > 0.0 ? spec.agreementEstimate : std::log(static_cast<double>(n));
     // Victim-centric strategies target the placement's victim — the attack is
     // selectable purely from the ScenarioSpec.
     AgreementParams aParams = spec.agreementParams;
-    aParams.victim = spec.placement.victim;
+    aParams.victim = victim;
+    std::unique_ptr<WalkAdversary> planWalk;
+    if (hasPlan) {
+      planWalk = makeCoalitionWalkAdversary(spec.coalitionPlan, assignment, trial.graph,
+                                            trial.byz, victim);
+    }
     const AgreementOutcome out =
-        runMajorityAgreement(trial.graph, trial.byz, L, aParams, trial.runRng);
+        runMajorityAgreement(trial.graph, trial.byz, L, aParams, trial.runRng, planWalk.get());
     TrialOutcome outcome;
     outcome.quality.honestCount = out.honestCount;
     outcome.quality.decidedCount = out.honestCount;  // every honest node ends with a bit
@@ -114,13 +177,21 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
     outcome.totalMessages = out.meter.totalMessages();
     outcome.totalBits = out.meter.totalBits();
     foldAgreementStage(outcome, out, n, L);
+    planExtras(outcome, nullptr, out);
     return outcome;
   }
   if (spec.protocol == ProtocolKind::Pipeline) {
     PipelineParams pParams = spec.pipelineParams;
-    pParams.agreement.victim = spec.placement.victim;
-    const PipelineOutcome out = runCountingThenAgreement(trial.graph, trial.byz, spec.beaconAttack,
-                                                         pParams, trial.runRng);
+    pParams.agreement.victim = victim;
+    const std::unique_ptr<BeaconAdversary> beaconAdv = makeSpecBeaconAdversary();
+    std::unique_ptr<WalkAdversary> planWalk;
+    if (hasPlan) {
+      planWalk = makeCoalitionWalkAdversary(spec.coalitionPlan, assignment, trial.graph,
+                                            trial.byz, victim);
+    }
+    const PipelineOutcome out = runCountingThenAgreement(
+        trial.graph, trial.byz, PipelineAdversaries{*beaconAdv, planWalk.get()}, pParams,
+        trial.runRng);
     TrialOutcome outcome;
     outcome.quality = evaluateQuality(out.counting.result, trial.byz, n, spec.window);
     outcome.totalRounds = out.totalRounds;
@@ -137,16 +208,19 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
     }
     foldAgreementStage(outcome, out.agreement, n,
                        decided > 0 ? meanL / static_cast<double>(decided) : 0.0);
+    planExtras(outcome, &out, out.agreement);
     return outcome;
   }
 
   CountingResult result;
   switch (spec.protocol) {
-    case ProtocolKind::Beacon:
-      result = runBeaconCounting(trial.graph, trial.byz, spec.beaconAttack, spec.beaconParams,
+    case ProtocolKind::Beacon: {
+      const std::unique_ptr<BeaconAdversary> beaconAdv = makeSpecBeaconAdversary();
+      result = runBeaconCounting(trial.graph, trial.byz, *beaconAdv, spec.beaconParams,
                                  spec.beaconLimits, trial.runRng)
                    .result;
       break;
+    }
     case ProtocolKind::Local: {
       std::unique_ptr<LocalAdversary> adversary =
           spec.localAdversary ? spec.localAdversary() : makeHonestLocalAdversary();

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/coalition_plan.hpp"
 #include "agreement/pipeline.hpp"
 #include "churn/schedule.hpp"
 #include "counting/baselines/geometric.hpp"
@@ -81,9 +82,19 @@ enum AgreementExtraSlot : std::size_t {
   kAgreementFlipped = 6,         ///< answer bits inverted in transit
   kAgreementMisrouted = 7,       ///< answers pushed off their reverse path
   kAgreementForged = 8,          ///< answers the adversary authored at walk end
-  kAgreementCoalitionHits = 9,   ///< samples targeted via the Coalition blackboard
-  kAgreementExtraSlots = 10,
+  kAgreementCoalitionHits = 9,   ///< targets tallied on the Coalition blackboard
+                                 ///< (cross-stage total for pipeline runs)
+  // Beacon-adversary / mixed-coalition diagnostics (src/adversary/beacon/,
+  // DESIGN.md §9). Zero for plain Agreement runs and for scenarios without a
+  // CoalitionPlan; like every extra they stay outside fingerprint().
+  kAgreementBeaconForged = 10,   ///< counting-stage beacons the adversary authored
+  kAgreementCoalitionSubsets = 11,  ///< subsets of the CoalitionPlan (0 = no plan)
+  kAgreementCombinedScore = 12,  ///< combinedCoalitionScore around the victim
+  kAgreementExtraSlots = 13,
 };
+
+/// Names for the slots above, aligned by index (bench JSON labelling).
+[[nodiscard]] const char* agreementExtraSlotName(std::size_t slot);
 
 /// Graph × placement × attack × params × trial plan. Only the fields of the
 /// selected protocol are read.
@@ -95,6 +106,11 @@ struct ScenarioSpec {
 
   ProtocolKind protocol = ProtocolKind::Beacon;
   BeaconAttackProfile beaconAttack = BeaconAttackProfile::none();
+  /// Gallery-native counting-stage adversary (src/adversary/beacon/). A
+  /// non-None kind takes precedence over the legacy beaconAttack flags; the
+  /// default None leaves flag-era scenarios untouched (None and none() are
+  /// the same behaviour).
+  BeaconAdversaryProfile beaconAdversary = BeaconAdversaryProfile::none();
   BeaconParams beaconParams;
   BeaconLimits beaconLimits;
   LocalParams localParams;
@@ -114,6 +130,13 @@ struct ScenarioSpec {
   /// Counting and agreement stage parameters for ProtocolKind::Pipeline
   /// (beaconAttack above selects the stage-1 adversary).
   PipelineParams pipelineParams;
+
+  /// Mixed-coalition axis (src/adversary/coalition_plan.hpp). An empty plan
+  /// is inert. When enabled for Beacon/Agreement/Pipeline scenarios, the
+  /// Byzantine budget is partitioned into subsets with per-subset stage
+  /// strategies (overriding beaconAttack/beaconAdversary and the agreement
+  /// attack profile), all sharing one per-trial Coalition blackboard.
+  CoalitionPlan coalitionPlan;
 
   /// Dynamic-network axis (src/churn/). The default schedule is inert; when
   /// enabled, trials route through the EpochRunner: the overlay evolves for

@@ -67,11 +67,11 @@ TEST(BeaconParams, RoundsPerIteration) {
   EXPECT_EQ(BeaconParams::roundsPerIteration(4), 13u);  // 2i+5
 }
 
-TEST(PathArena, AppendAndMaterialize) {
-  PathArena arena;
-  const PathRef a = arena.append(kNoPath, 10);
-  const PathRef b = arena.append(a, 20);
-  const PathRef c = arena.append(b, 30);
+TEST(BeaconPathArena, AppendAndMaterialize) {
+  BeaconPathArena arena;
+  const BeaconPathRef a = arena.append(kNoBeaconPath, 10);
+  const BeaconPathRef b = arena.append(a, 20);
+  const BeaconPathRef c = arena.append(b, 30);
   EXPECT_EQ(arena.length(c), 3u);
   EXPECT_EQ(arena.last(c), 30u);
   const auto ids = arena.materialize(c);
@@ -81,19 +81,19 @@ TEST(PathArena, AppendAndMaterialize) {
   EXPECT_EQ(ids[2], 30u);
 }
 
-TEST(PathArena, SharedPrefixes) {
-  PathArena arena;
-  const PathRef a = arena.append(kNoPath, 1);
-  const PathRef b1 = arena.append(a, 2);
-  const PathRef b2 = arena.append(a, 3);
+TEST(BeaconPathArena, SharedPrefixes) {
+  BeaconPathArena arena;
+  const BeaconPathRef a = arena.append(kNoBeaconPath, 1);
+  const BeaconPathRef b1 = arena.append(a, 2);
+  const BeaconPathRef b2 = arena.append(a, 3);
   EXPECT_EQ(arena.materialize(b1)[0], 1u);
   EXPECT_EQ(arena.materialize(b2)[0], 1u);
   EXPECT_EQ(arena.size(), 3u);  // prefix stored once
 }
 
-TEST(PathArena, WalkPrefixSkipsSuffix) {
-  PathArena arena;
-  PathRef p = kNoPath;
+TEST(BeaconPathArena, WalkPrefixSkipsSuffix) {
+  BeaconPathArena arena;
+  BeaconPathRef p = kNoBeaconPath;
   for (PublicId id = 1; id <= 5; ++id) p = arena.append(p, id);
   std::vector<PublicId> visited;
   arena.walkPrefix(p, 2, [&](PublicId id) {
@@ -106,9 +106,9 @@ TEST(PathArena, WalkPrefixSkipsSuffix) {
   EXPECT_EQ(visited[2], 1u);
 }
 
-TEST(PathArena, WalkPrefixEarlyStop) {
-  PathArena arena;
-  PathRef p = kNoPath;
+TEST(BeaconPathArena, WalkPrefixEarlyStop) {
+  BeaconPathArena arena;
+  BeaconPathRef p = kNoBeaconPath;
   for (PublicId id = 1; id <= 4; ++id) p = arena.append(p, id);
   int count = 0;
   const bool completed = arena.walkPrefix(p, 0, [&](PublicId) { return ++count < 2; });
@@ -116,9 +116,9 @@ TEST(PathArena, WalkPrefixEarlyStop) {
   EXPECT_EQ(count, 2);
 }
 
-TEST(PathArena, SuffixCoveringWholePath) {
-  PathArena arena;
-  PathRef p = arena.append(kNoPath, 9);
+TEST(BeaconPathArena, SuffixCoveringWholePath) {
+  BeaconPathArena arena;
+  BeaconPathRef p = arena.append(kNoBeaconPath, 9);
   bool visitedAny = false;
   EXPECT_TRUE(arena.walkPrefix(p, 5, [&](PublicId) {
     visitedAny = true;
