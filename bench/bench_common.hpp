@@ -54,6 +54,17 @@ inline NodeId nodeCount(NodeId defaultN) {
   return defaultN;
 }
 
+/// Intra-trial engine shards (DESIGN.md §10) for benches that wire the knob
+/// through their ScenarioSpecs. BZC_SHARDS overrides — the nightly runners
+/// set BZC_SHARDS=4 so the n=1M rows use all four cores inside one trial.
+inline unsigned shardCount(unsigned defaultShards = 1) {
+  if (const char* env = std::getenv("BZC_SHARDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return defaultShards;
+}
+
 /// CLI/env attack selection for the walk-adversary gallery (accepts both a
 /// short alias and the canonical profile name, which stays owned by
 /// src/adversary/profile.cpp).
@@ -137,13 +148,19 @@ inline void appendJsonDist(std::ostringstream& os, const char* key, const Distri
 /// labels the positional extras slots (tools/diff_bench_json.py uses the
 /// labels to report and to orient lower-is-better metrics like staleness).
 inline void maybeEmitJson(const ExperimentSummary& s,
-                          const std::vector<std::string>& extraNames = {}) {
+                          const std::vector<std::string>& extraNames = {},
+                          unsigned shards = 0) {
   if (!jsonOutputEnabled()) return;
   std::ostringstream os;
   os.precision(12);
   os << "{\"name\":\"" << s.name << "\",\"trials\":" << s.trials
-     << ",\"cappedTrials\":" << s.cappedTrials << ",\"combinedFingerprint\":\"0x" << std::hex
-     << s.combinedFingerprint << std::dec << "\",";
+     << ",\"cappedTrials\":" << s.cappedTrials;
+  // Emitted only for sharded rows so legacy trajectories stay byte-stable;
+  // tools/diff_bench_json.py reports shard-count changes alongside the
+  // metric deltas (a 1 -> 4 shard row is a config change, not a regression).
+  if (shards > 0) os << ",\"shards\":" << shards;
+  os << ",\"combinedFingerprint\":\"0x" << std::hex << s.combinedFingerprint << std::dec
+     << "\",";
   if (!extraNames.empty()) {
     os << "\"extraNames\":[";
     for (std::size_t i = 0; i < extraNames.size(); ++i) {
@@ -182,7 +199,7 @@ inline void maybeEmitJson(const ExperimentSummary& s,
 inline ExperimentSummary runScenario(ExperimentRunner& runner, const ScenarioSpec& spec,
                                      const std::vector<std::string>& extraNames = {}) {
   ExperimentSummary s = runner.run(spec);
-  maybeEmitJson(s, extraNames);
+  maybeEmitJson(s, extraNames, spec.shards);
   return s;
 }
 

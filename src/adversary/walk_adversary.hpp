@@ -12,6 +12,7 @@
 // plus a profile constructor; no protocol edit. See DESIGN.md §7.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -50,25 +51,39 @@ struct WalkToken {
 /// for the rest of the trial (consistent lying beats independent re-guessing
 /// once honest opinion starts to drift), and targeted samples are tallied so
 /// experiments can score how much of the budget actually landed.
+///
+/// Lock-free so strategies may call it from the engine's shard-parallel recv
+/// phase (DESIGN.md §10). Every strategy that locks a bit derives it from
+/// round-constant state (the honest split snapshot), so whichever shard's CAS
+/// wins within a round installs the same bit — shard-count invariant.
 class Coalition {
  public:
-  [[nodiscard]] bool hasAgreedBit() const noexcept { return agreed_; }
-  [[nodiscard]] std::uint8_t agreedBit() const noexcept { return bit_; }
+  Coalition() = default;
+  Coalition(const Coalition&) = delete;
+  Coalition& operator=(const Coalition&) = delete;
+
+  [[nodiscard]] bool hasAgreedBit() const noexcept {
+    return state_.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] std::uint8_t agreedBit() const noexcept {
+    return static_cast<std::uint8_t>(state_.load(std::memory_order_acquire) & 0xffu);
+  }
 
   /// First writer wins; later calls are ignored (the coalition stays put).
   void agreeOn(std::uint8_t bit) noexcept {
-    if (agreed_) return;
-    agreed_ = true;
-    bit_ = bit;
+    std::uint32_t expected = 0;
+    state_.compare_exchange_strong(expected, 0x100u | bit, std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
   }
 
-  void recordHit() noexcept { ++hits_; }
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  void recordHit() noexcept { hits_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
 
  private:
-  bool agreed_ = false;
-  std::uint8_t bit_ = 0;
-  std::uint64_t hits_ = 0;
+  std::atomic<std::uint32_t> state_{0};  ///< 0 = unset, else 0x100 | agreed bit
+  std::atomic<std::uint64_t> hits_{0};
 };
 
 /// What each strategy did to the traffic it touched. Protocol-observed events
@@ -84,6 +99,17 @@ struct AdversaryStats {
   std::uint64_t misroutedAnswers = 0;  ///< answers pushed off their reverse path
   std::uint64_t strayAnswers = 0;      ///< misrouted answers discarded on arrival
   std::uint64_t coalitionHits = 0;     ///< samples targeted via the Coalition blackboard
+
+  /// Folds a per-shard sink into this one (sums are shard-order invariant).
+  void accumulate(const AdversaryStats& o) noexcept {
+    droppedQueries += o.droppedQueries;
+    droppedAnswers += o.droppedAnswers;
+    flippedAnswers += o.flippedAnswers;
+    forgedAnswers += o.forgedAnswers;
+    misroutedAnswers += o.misroutedAnswers;
+    strayAnswers += o.strayAnswers;
+    coalitionHits += o.coalitionHits;
+  }
 };
 
 /// Everything a strategy may observe when handling a token: where it is, the

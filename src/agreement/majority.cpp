@@ -70,8 +70,9 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
   Rng walkBase = rng.fork(0x3a1c);
   Rng advRng = rng.fork(0x5adc);
 
-  Engine engine(g, byz);
-  PathArena arena;
+  Engine engine(g, byz, 0, params.shards);
+  const unsigned S = engine.shardCount();
+  PathArena arena(S);
   // Trial-local blackboard and profile-selected strategy unless the caller
   // injected them (mixed coalitions, cross-stage collusion — DESIGN.md §9).
   Coalition localCoalition;
@@ -86,13 +87,36 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
   std::vector<std::uint8_t> answersSeen(n, 0);
   std::vector<std::uint8_t> answersExpected(n, 0);
 
-  const auto recv = [&](NodeId v, Round w, std::span<const Engine::Delivery> box) {
+  // Per-shard adversary state for the shard-parallel recv phase. At S == 1
+  // everything resolves to the base objects, keeping the serial path (and its
+  // RNG sequence) byte-identical to the pre-sharding engine. At S > 1 each
+  // shard draws from its own fork and counts into its own sinks; sinks are
+  // summed after the run (sums are shard-order invariant).
+  std::vector<Rng> advLane;
+  if (S > 1) {
+    advLane.reserve(S);
+    for (unsigned s = 0; s < S; ++s) advLane.push_back(advRng.fork(s));
+  }
+  std::vector<AdversaryStats> statsLane(S > 1 ? S : 0);
+  const auto rngAt = [&](unsigned s) -> Rng& { return S > 1 ? advLane[s] : advRng; };
+  const auto statsAt = [&](unsigned s) -> AdversaryStats& {
+    return S > 1 ? statsLane[s] : out.adversary;
+  };
+  struct SampleCounters {
+    std::uint64_t answered = 0;
+    std::uint64_t compromised = 0;
+  };
+  std::vector<SampleCounters> counterLane(S);
+
+  const auto recv = [&](Engine::ShardLane& lane, NodeId v, Round w,
+                        std::span<const Engine::Delivery> box) {
+    const unsigned shard = lane.shard();
     // The strategy sees the live honest split (the adaptive adversary is
     // omniscient about honest state); values only commit at window end, so
     // this is constant within an iteration.
     const auto ctxAt = [&](NodeId at) {
       return WalkContext{at,     w,         g,      arena, curOnes, honest,
-                         params.victim, coalition, advRng, out.adversary};
+                         params.victim, coalition, rngAt(shard), statsAt(shard)};
     };
     for (const Engine::Delivery& d : box) {
       WalkToken t = d.payload;  // O(1): the reverse path lives in the arena
@@ -103,17 +127,17 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
           if (t.origin == v) {
             tally[v] += t.answer;
             ++answersSeen[v];
-            ++out.answeredSamples;
-            if (t.compromised) ++out.compromisedSamples;
+            ++counterLane[shard].answered;
+            if (t.compromised) ++counterLane[shard].compromised;
           } else {
-            ++out.adversary.strayAnswers;
+            ++statsAt(shard).strayAnswers;
           }
           continue;
         }
         if (byz.contains(v)) {
           const TokenAction act = strategy.onAnswerRelay(ctxAt(v), t);
           if (act.op == TokenAction::Op::Drop) {
-            ++out.adversary.droppedAnswers;
+            ++statsAt(shard).droppedAnswers;
             continue;
           }
           if (act.op == TokenAction::Op::Redirect) {
@@ -122,21 +146,21 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
             // if the target happens to be its origin.
             BZC_ASSERT(g.hasEdge(v, act.target));
             t.path = kNullPath;
-            engine.unicast(v, act.target, std::move(t), kAnswerBits);
+            lane.unicast(v, act.target, std::move(t), kAnswerBits);
             continue;
           }
         }
         BZC_ASSERT(arena.node(t.path) == v);
         t.path = arena.prev(t.path);
         const NodeId next = t.path == kNullPath ? t.origin : arena.node(t.path);
-        engine.unicast(v, next, std::move(t), kAnswerBits);
+        lane.unicast(v, next, std::move(t), kAnswerBits);
         continue;
       }
       if (byz.contains(v)) {
         const TokenAction act = strategy.onQuery(ctxAt(v), t);
         BZC_ASSERT(act.op != TokenAction::Op::Redirect);  // queries follow their walk
         if (act.op == TokenAction::Op::Drop) {
-          ++out.adversary.droppedQueries;
+          ++statsAt(shard).droppedQueries;
           continue;
         }
       }
@@ -150,20 +174,20 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
           // untargeted ones that merely ended on the adversary.
           t.answer = strategy.forgeAnswer(ctxAt(v), t);
           t.compromised = true;
-          ++out.adversary.forgedAnswers;
+          ++statsAt(shard).forgedAnswers;
         } else {
           t.answer = value[v];
         }
         BZC_ASSERT(t.path != kNullPath && arena.node(t.path) == v);
         t.path = arena.prev(t.path);
         const NodeId next = t.path == kNullPath ? t.origin : arena.node(t.path);
-        engine.unicast(v, next, std::move(t), kAnswerBits);
+        lane.unicast(v, next, std::move(t), kAnswerBits);
       } else {
         const auto nbrs = g.neighbors(v);
         const NodeId next = nbrs[t.stream.uniform(nbrs.size())];
         --t.hopsLeft;
-        t.path = arena.push(next, t.path);
-        engine.unicast(v, next, std::move(t), kWalkTokenBits);
+        t.path = arena.push(shard, next, t.path);
+        lane.unicast(v, next, std::move(t), kWalkTokenBits);
       }
     }
   };
@@ -231,6 +255,12 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
   out.fracAgreeing = honest > 0
                          ? static_cast<double>(out.agreeingWithMajority) / static_cast<double>(honest)
                          : 0.0;
+  for (const SampleCounters& c : counterLane) {
+    out.answeredSamples += c.answered;
+    out.compromisedSamples += c.compromised;
+  }
+  for (const AdversaryStats& st : statsLane) out.adversary.accumulate(st);
+
   out.totalRounds = static_cast<Round>(engine.round());
   out.adversary.coalitionHits = coalition.hits();
   out.meter = engine.releaseMeter();

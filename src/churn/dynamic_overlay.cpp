@@ -25,10 +25,12 @@ DynamicOverlay::DynamicOverlay(const Graph& initial, const ByzantineSet& byz, No
   members_.reserve(n);
   degree_.reserve(n);
   incidence_.resize(n);
+  indexOf_.reserve(n);
   for (NodeId u = 0; u < n; ++u) {
     members_.push_back({u, byz.contains(u)});
     degree_.push_back(initial.degree(u));
     incidence_[u].reserve(initial.degree(u));
+    indexOf_.emplace(u, u);
     if (byz.contains(u)) ++byzCount_;
   }
   nextId_ = n;
@@ -41,10 +43,8 @@ DynamicOverlay::DynamicOverlay(const Graph& initial, const ByzantineSet& byz, No
 }
 
 std::size_t DynamicOverlay::indexOf(std::uint64_t id) const {
-  const auto it = std::lower_bound(members_.begin(), members_.end(), id,
-                                   [](const OverlayMember& m, std::uint64_t x) { return m.id < x; });
-  if (it == members_.end() || it->id != id) return kNpos;
-  return static_cast<std::size_t>(it - members_.begin());
+  const auto it = indexOf_.find(id);
+  return it == indexOf_.end() ? kNpos : it->second;
 }
 
 bool DynamicOverlay::isLive(std::uint64_t id) const { return indexOf(id) != kNpos; }
@@ -135,14 +135,10 @@ bool DynamicOverlay::spliceInto(std::uint64_t node, Rng& rng) {
 
 std::uint64_t DynamicOverlay::join(bool byzantine, Rng& rng) {
   const std::uint64_t id = nextId_++;
-  const auto it = std::lower_bound(members_.begin(), members_.end(), id,
-                                   [](const OverlayMember& m, std::uint64_t x) { return m.id < x; });
-  const std::size_t pos = static_cast<std::size_t>(it - members_.begin());
-  members_.insert(it, {id, byzantine});
-  degree_.insert(degree_.begin() + static_cast<std::ptrdiff_t>(pos), 0);
-  // Note: an explicit empty vector — a braced `{}` here would select the
-  // initializer_list overload and insert nothing.
-  incidence_.emplace(incidence_.begin() + static_cast<std::ptrdiff_t>(pos));
+  indexOf_.emplace(id, members_.size());
+  members_.push_back({id, byzantine});
+  degree_.push_back(0);
+  incidence_.emplace_back();
   if (byzantine) ++byzCount_;
 
   // First hand the newcomer to nodes already missing stubs (repairs earlier
@@ -185,9 +181,21 @@ bool DynamicOverlay::leave(std::uint64_t id, Rng& rng) {
     removeEdgeAt(e);  // also erases e from incidence_[pos]
   }
   if (members_[pos].byzantine) --byzCount_;
-  members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(pos));
-  degree_.erase(degree_.begin() + static_cast<std::ptrdiff_t>(pos));
-  incidence_.erase(incidence_.begin() + static_cast<std::ptrdiff_t>(pos));
+  // Swap-pop all three parallel vectors (O(1) instead of the old O(n)
+  // erases), patching the moved member's position in the id map. The map
+  // entry for `id` itself must outlive the stub-collection loop above:
+  // removeEdgeAt resolves both endpoints through indexOf().
+  const std::size_t last = members_.size() - 1;
+  if (pos != last) {
+    members_[pos] = members_[last];
+    degree_[pos] = degree_[last];
+    incidence_[pos] = std::move(incidence_[last]);
+    indexOf_[members_[pos].id] = pos;
+  }
+  members_.pop_back();
+  degree_.pop_back();
+  incidence_.pop_back();
+  indexOf_.erase(id);
 
   pairStubs(stubs, rng);
   return true;
@@ -264,11 +272,24 @@ void DynamicOverlay::repairToRegular(Rng& rng) {
 OverlaySnapshot DynamicOverlay::snapshot() const {
   const NodeId n = static_cast<NodeId>(members_.size());
   OverlaySnapshot snap;
+  // members_ is an arbitrary permutation after swap-compacted departures;
+  // dense indices must stay in increasing global-id order (epoch bookkeeping
+  // maps dense -> id monotonically), so build a sort-by-id permutation and
+  // its inverse for the edge mapping. Zero-churn trajectories keep members_
+  // sorted, making `order` the identity — snapshots stay bit-identical.
+  std::vector<std::size_t> order(members_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return members_[a].id < members_[b].id;
+  });
+  std::vector<NodeId> denseOf(members_.size());
+  for (std::size_t dense = 0; dense < order.size(); ++dense)
+    denseOf[order[dense]] = static_cast<NodeId>(dense);
   snap.denseToId.reserve(n);
   std::vector<NodeId> byzDense;
   for (NodeId dense = 0; dense < n; ++dense) {
-    snap.denseToId.push_back(members_[dense].id);
-    if (members_[dense].byzantine) byzDense.push_back(dense);
+    snap.denseToId.push_back(members_[order[dense]].id);
+    if (members_[order[dense]].byzantine) byzDense.push_back(dense);
   }
   std::vector<std::pair<NodeId, NodeId>> denseEdges;
   denseEdges.reserve(edges_.size());
@@ -276,7 +297,7 @@ OverlaySnapshot DynamicOverlay::snapshot() const {
     const std::size_t ia = indexOf(a);
     const std::size_t ib = indexOf(b);
     BZC_ASSERT(ia != kNpos && ib != kNpos);
-    denseEdges.emplace_back(static_cast<NodeId>(ia), static_cast<NodeId>(ib));
+    denseEdges.emplace_back(denseOf[ia], denseOf[ib]);
   }
   // Graph's CSR form is canonical in the edge *multiset* (adjacency is
   // sorted per node), so snapshot equality only needs membership+edge

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -62,7 +63,9 @@ class DynamicOverlay {
   [[nodiscard]] std::size_t liveCount() const noexcept { return members_.size(); }
   [[nodiscard]] std::size_t byzCount() const noexcept { return byzCount_; }
   [[nodiscard]] NodeId targetDegree() const noexcept { return targetDegree_; }
-  /// Live members in increasing global-id order.
+  /// Live members. Insertion-ordered until the first departure; leave() uses
+  /// swap-compaction, so after churn the order is an arbitrary permutation.
+  /// snapshot() re-sorts by global id, so dense indices stay canonical.
   [[nodiscard]] const std::vector<OverlayMember>& members() const noexcept { return members_; }
   [[nodiscard]] bool isLive(std::uint64_t id) const;
   [[nodiscard]] std::size_t edgeCount() const noexcept { return edges_.size(); }
@@ -114,13 +117,18 @@ class DynamicOverlay {
   NodeId targetDegree_ = 0;
   std::uint64_t nextId_ = 0;
   std::size_t byzCount_ = 0;
-  std::vector<OverlayMember> members_;            ///< sorted by id
+  /// Unordered after the first leave() (swap-compaction); see members().
+  std::vector<OverlayMember> members_;
   std::vector<NodeId> degree_;                    ///< parallel to members_
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edges_;  ///< global ids, a != b
   /// Per-member incidence index (edge positions in edges_), parallel to
   /// members_. Turns leave() from a full edge-list sweep into O(d) lookups —
   /// the ROADMAP perf lever for mass departures at 16k+ members.
   std::vector<std::vector<std::size_t>> incidence_;
+  /// Global id -> position in members_/degree_/incidence_. With swap-pop
+  /// compaction in leave() this makes departures fully O(d²): no O(n)
+  /// lower_bound scans and no O(n) vector erases remain.
+  std::unordered_map<std::uint64_t, std::size_t> indexOf_;
 };
 
 }  // namespace bzc

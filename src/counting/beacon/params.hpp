@@ -82,6 +82,11 @@ struct BeaconParams {
 struct BeaconLimits {
   std::uint32_t maxPhase = 0;        ///< 0: auto = ceil(2.5*ln n) + 6
   std::uint64_t maxTotalRounds = 0;  ///< 0: auto = 50M
+  /// Intra-trial engine shards (DESIGN.md §10). 1 = serial. Observables are
+  /// shard-count invariant for recv-draw-free strategies; strategies drawing
+  /// from ctx.fakeRng inside relay hooks are deterministic per shard count
+  /// (each shard owns a forked fabrication stream).
+  std::uint32_t shards = 1;
 };
 
 }  // namespace bzc

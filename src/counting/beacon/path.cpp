@@ -6,7 +6,7 @@ namespace bzc {
 
 std::vector<PublicId> BeaconPathArena::materialize(BeaconPathRef path) const {
   std::vector<PublicId> ids;
-  for (BeaconPathRef p = path; p != kNoBeaconPath; p = nodes_[p].parent) ids.push_back(nodes_[p].id);
+  for (BeaconPathRef p = path; p != kNoBeaconPath; p = nodeAt(p).parent) ids.push_back(nodeAt(p).id);
   std::reverse(ids.begin(), ids.end());
   return ids;
 }

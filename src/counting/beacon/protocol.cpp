@@ -90,8 +90,9 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
   out.stats.decidedPhase.assign(n, 0);
 
   RunState st(n);
-  BeaconPathArena arena;
-  Engine engine(g, byz, maxRounds);
+  Engine engine(g, byz, maxRounds, limits.shards);
+  const unsigned S = engine.shardCount();
+  BeaconPathArena arena(S);
 
   std::size_t undecidedHonest = n - byz.count();
 
@@ -102,8 +103,28 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
   Coalition localCoalition;
   Coalition& board = coalition != nullptr ? *coalition : localCoalition;
   BeaconObservables obs;
-  const auto ctxAt = [&](NodeId at, Round r) {
-    return BeaconContext{at, r, g, arena, board, fakeRng, out.stats.adversary, obs};
+
+  // Per-shard adversary state for the shard-parallel windows (DESIGN.md §10).
+  // Serial slots (activation forging, continue spam — they interleave draws
+  // with honest activation draws) always resolve to the base fakeRng and the
+  // run-total stats via kSerialSlot; at S == 1 the recv hooks do too, keeping
+  // the single-shard run byte-identical to the pre-sharding engine.
+  constexpr unsigned kSerialSlot = ~0u;
+  std::vector<Rng> fakeLane;
+  if (S > 1) {
+    fakeLane.reserve(S);
+    for (unsigned s = 0; s < S; ++s) fakeLane.push_back(fakeRng.fork(s));
+  }
+  std::vector<BeaconAdversaryStats> advLane(S > 1 ? S : 0);
+  const auto fakeAt = [&](unsigned s) -> Rng& {
+    return (S > 1 && s != kSerialSlot) ? fakeLane[s] : fakeRng;
+  };
+  const auto advStatsAt = [&](unsigned s) -> BeaconAdversaryStats& {
+    return (S > 1 && s != kSerialSlot) ? advLane[s] : out.stats.adversary;
+  };
+  const auto ctxAt = [&](NodeId at, Round r, unsigned s) {
+    return BeaconContext{at,    r, g, arena.lane((S > 1 && s != kSerialSlot) ? s : 0u),
+                         board, fakeAt(s), advStatsAt(s), obs};
   };
 
   bool capped = false;
@@ -156,7 +177,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       for (NodeId u = 0; u < n; ++u) {
         if (byz.contains(u)) {
           BeaconFrame forged;
-          if (adversary.forgeBeacon(ctxAt(u, 0), forged)) {
+          if (adversary.forgeBeacon(ctxAt(u, 0, kSerialSlot), forged)) {
             ++out.stats.adversary.beaconsForged;
             engine.broadcast(u, forged, beaconBits(forged.len));
           }
@@ -172,29 +193,32 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         }
       }
 
-      // --- Beacon window: i+2 rounds of flooding on the engine. ---
-      auto beaconStep = [&](NodeId v, Round r, std::span<const Engine::Delivery> box) {
+      // --- Beacon window: i+2 rounds of flooding on the engine (shard-
+      // --- parallel: receivers are shard-owned, sends go via the lane). ---
+      auto beaconStep = [&](Engine::ShardLane& lane, NodeId v, Round r,
+                            std::span<const Engine::Delivery> box) {
+        const unsigned shard = lane.shard();
         if (byz.contains(v)) {
           if (r < beaconWindow) {
             const Engine::Delivery& in = box.front();
             const BeaconTransit act = adversary.onBeaconRelay(
-                ctxAt(v, r), {in.sender, ids.publicId(in.sender), in.payload});
+                ctxAt(v, r, shard), {in.sender, ids.publicId(in.sender), in.payload});
             if (act.op == BeaconTransit::Op::Drop) {
-              ++out.stats.adversary.relaysSuppressed;
+              ++advStatsAt(shard).relaysSuppressed;
               return;
             }
             BeaconFrame fwd;
             if (act.op == BeaconTransit::Op::Replace) {
-              ++out.stats.adversary.relaysTampered;
-              ++out.stats.adversary.beaconsForged;
+              ++advStatsAt(shard).relaysTampered;
+              ++advStatsAt(shard).beaconsForged;
               fwd = act.replacement;
             } else {
               // Honest-looking relay: append the sender's unfakeable ID.
               fwd = in.payload;
-              fwd.path = arena.append(fwd.path, ids.publicId(in.sender));
+              fwd.path = arena.append(shard, fwd.path, ids.publicId(in.sender));
               ++fwd.len;
             }
-            engine.broadcast(v, fwd, beaconBits(fwd.len));
+            lane.broadcast(v, fwd, beaconBits(fwd.len));
           }
           return;
         }
@@ -227,7 +251,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         }
         // Line 16: the receiver appends the sender's (unfakeable) ID.
         BeaconFrame forwarded = chosen->payload;
-        forwarded.path = arena.append(forwarded.path, ids.publicId(chosen->sender));
+        forwarded.path = arena.append(shard, forwarded.path, ids.publicId(chosen->sender));
         ++forwarded.len;
         // Lines 20-25: update shortestPath with the first acceptable beacon.
         if (chosenAcceptable && !st.hasShortest[v]) {
@@ -235,31 +259,41 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
           st.shortest[v] = forwarded;
         }
         // Lines 17-19: keep flooding while the window allows another hop.
-        if (r < beaconWindow) engine.broadcast(v, forwarded, beaconBits(forwarded.len));
+        if (r < beaconWindow) lane.broadcast(v, forwarded, beaconBits(forwarded.len));
       };
       const WindowResult beaconRun = engine.runWindow(beaconWindow, beaconStep);
       engine.skipRounds(beaconWindow - beaconRun.roundsRun);
 
-      // --- Lines 28-32: decisions and blacklist maintenance. ---
-      for (NodeId u = 0; u < n; ++u) {
-        if (byz.contains(u) || !st.participating[u] || st.decided[u]) continue;
-        if (!st.hasShortest[u]) {
-          st.decided[u] = 1;
-          --undecidedHonest;
-          out.stats.decidedPhase[u] = phase;
-          out.result.decisions[u].decided = true;
-          out.result.decisions[u].round = static_cast<Round>(engine.round());
-          out.result.decisions[u].estimate = static_cast<double>(phase);
-        } else if (params.blacklistEnabled && !st.ownBeacon[u]) {
-          const std::uint32_t len = st.shortest[u].len;
-          if (len > suffix) {
-            st.blacklist[u].reserve(st.blacklist[u].size() + (len - suffix));
-            arena.walkPrefix(st.shortest[u].path, suffix, [&](PublicId id) {
-              if (st.blacklist[u].insert(id).second) ++out.stats.blacklistInsertions;
-              return true;
-            });
+      // --- Lines 28-32: decisions and blacklist maintenance. Shard-parallel:
+      // --- every write is to node-indexed state a shard owns; the two global
+      // --- counters reduce over per-shard deltas (sums are order-invariant).
+      std::vector<std::size_t> decidedDelta(S, 0);
+      std::vector<std::uint64_t> insertDelta(S, 0);
+      engine.forEachShard([&](std::size_t s, NodeId lo, NodeId hi) {
+        for (NodeId u = lo; u < hi; ++u) {
+          if (byz.contains(u) || !st.participating[u] || st.decided[u]) continue;
+          if (!st.hasShortest[u]) {
+            st.decided[u] = 1;
+            ++decidedDelta[s];
+            out.stats.decidedPhase[u] = phase;
+            out.result.decisions[u].decided = true;
+            out.result.decisions[u].round = static_cast<Round>(engine.round());
+            out.result.decisions[u].estimate = static_cast<double>(phase);
+          } else if (params.blacklistEnabled && !st.ownBeacon[u]) {
+            const std::uint32_t len = st.shortest[u].len;
+            if (len > suffix) {
+              st.blacklist[u].reserve(st.blacklist[u].size() + (len - suffix));
+              arena.walkPrefix(st.shortest[u].path, suffix, [&](PublicId id) {
+                if (st.blacklist[u].insert(id).second) ++insertDelta[s];
+                return true;
+              });
+            }
           }
         }
+      });
+      for (unsigned s = 0; s < S; ++s) {
+        undecidedHonest -= decidedDelta[s];
+        out.stats.blacklistInsertions += insertDelta[s];
       }
       if (undecidedHonest == 0 && out.stats.roundsUntilAllDecided == 0) {
         out.stats.roundsUntilAllDecided = static_cast<Round>(engine.round());
@@ -270,24 +304,25 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       for (NodeId u = 0; u < n; ++u) {
         const bool honestSource = !byz.contains(u) && st.participating[u] && !st.decided[u] &&
                                   params.continueEnabled;
-        const bool byzSource = byz.contains(u) && adversary.spamContinue(ctxAt(u, 0));
+        const bool byzSource = byz.contains(u) && adversary.spamContinue(ctxAt(u, 0, kSerialSlot));
         if (!honestSource && !byzSource) continue;
         if (honestSource) ++out.stats.continueMessages;
         if (byzSource) ++out.stats.adversary.continuesSpammed;
         st.receivedContinue[u] = 1;  // sources need no re-entry signal
         engine.broadcast(u, BeaconFrame{}, kContinueBits);
       }
-      auto continueStep = [&](NodeId v, Round r, std::span<const Engine::Delivery>) {
+      auto continueStep = [&](Engine::ShardLane& lane, NodeId v, Round r,
+                              std::span<const Engine::Delivery>) {
         if (st.receivedContinue[v]) return;
         st.receivedContinue[v] = 1;
         bool relays;
         if (byz.contains(v)) {
-          relays = adversary.onContinueRelay(ctxAt(v, r));
-          if (!relays && r < continueWindow) ++out.stats.adversary.continuesSuppressed;
+          relays = adversary.onContinueRelay(ctxAt(v, r, lane.shard()));
+          if (!relays && r < continueWindow) ++advStatsAt(lane.shard()).continuesSuppressed;
         } else {
           relays = st.participating[v] != 0;
         }
-        if (relays && r < continueWindow) engine.broadcast(v, BeaconFrame{}, kContinueBits);
+        if (relays && r < continueWindow) lane.broadcast(v, BeaconFrame{}, kContinueBits);
       };
       const WindowResult continueRun = engine.runWindow(continueWindow, continueStep);
       engine.skipRounds(continueWindow - continueRun.roundsRun);
@@ -307,6 +342,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       static_cast<Round>(std::min<std::uint64_t>(engine.round(), 0xffffffffu));
   out.result.hitRoundCap = capped;
   out.result.meter = engine.releaseMeter();
+  for (const BeaconAdversaryStats& laneStats : advLane) out.stats.adversary.accumulate(laneStats);
   out.stats.beaconsForged = out.stats.adversary.beaconsForged;
   if (!out.stats.quiesced) {
     // The phase loop may have ended by cap/maxPhase; re-check quiescence.

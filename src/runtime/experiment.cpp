@@ -162,6 +162,7 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
     // selectable purely from the ScenarioSpec.
     AgreementParams aParams = spec.agreementParams;
     aParams.victim = victim;
+    if (spec.shards > 0) aParams.shards = spec.shards;
     std::unique_ptr<WalkAdversary> planWalk;
     if (hasPlan) {
       planWalk = makeCoalitionWalkAdversary(spec.coalitionPlan, assignment, trial.graph,
@@ -183,6 +184,10 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
   if (spec.protocol == ProtocolKind::Pipeline) {
     PipelineParams pParams = spec.pipelineParams;
     pParams.agreement.victim = victim;
+    if (spec.shards > 0) {
+      pParams.countingLimits.shards = spec.shards;
+      pParams.agreement.shards = spec.shards;
+    }
     const std::unique_ptr<BeaconAdversary> beaconAdv = makeSpecBeaconAdversary();
     std::unique_ptr<WalkAdversary> planWalk;
     if (hasPlan) {
@@ -216,8 +221,10 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
   switch (spec.protocol) {
     case ProtocolKind::Beacon: {
       const std::unique_ptr<BeaconAdversary> beaconAdv = makeSpecBeaconAdversary();
-      result = runBeaconCounting(trial.graph, trial.byz, *beaconAdv, spec.beaconParams,
-                                 spec.beaconLimits, trial.runRng)
+      BeaconLimits limits = spec.beaconLimits;
+      if (spec.shards > 0) limits.shards = spec.shards;
+      result = runBeaconCounting(trial.graph, trial.byz, *beaconAdv, spec.beaconParams, limits,
+                                 trial.runRng)
                    .result;
       break;
     }
@@ -299,15 +306,28 @@ ExperimentRunner::~ExperimentRunner() = default;
 unsigned ExperimentRunner::threadCount() const noexcept { return pool_->threadCount(); }
 
 ExperimentSummary ExperimentRunner::run(const ScenarioSpec& spec) {
-  return runCustom(spec.name, spec.trials,
-                   [&spec](std::uint32_t index) { return runTrial(spec, index); });
+  const TrialFn fn = [&spec](std::uint32_t index) { return runTrial(spec, index); };
+  if (spec.shards > 1) {
+    // trials × shards ≤ cores policy: each trial's engine spins up its own
+    // shard workers, so the trial-level fan-out narrows to compensate. The
+    // outcome is unchanged either way (trials are pure functions of their
+    // index) — only scheduling shifts.
+    ThreadPool narrowed(std::max(1u, threadCount() / spec.shards));
+    return runWith(narrowed, spec.name, spec.trials, fn);
+  }
+  return runWith(*pool_, spec.name, spec.trials, fn);
 }
 
 ExperimentSummary ExperimentRunner::runCustom(const std::string& name, std::uint32_t trials,
                                               const TrialFn& fn) {
+  return runWith(*pool_, name, trials, fn);
+}
+
+ExperimentSummary ExperimentRunner::runWith(ThreadPool& pool, const std::string& name,
+                                            std::uint32_t trials, const TrialFn& fn) {
   BZC_REQUIRE(trials > 0, "need at least one trial");
   std::vector<TrialOutcome> outcomes(trials);
-  pool_->parallelFor(trials, [&](std::size_t i) {
+  pool.parallelFor(trials, [&](std::size_t i) {
     outcomes[i] = fn(static_cast<std::uint32_t>(i));
   });
 

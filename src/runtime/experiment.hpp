@@ -147,6 +147,13 @@ struct ScenarioSpec {
   QualityWindow window{0.3, 1.8};
   std::uint32_t trials = 32;
   std::uint64_t masterSeed = 1;
+
+  /// Intra-trial engine shards (DESIGN.md §10) for the sharded protocols
+  /// (Beacon, Agreement, Pipeline — incl. their churn recounts). 0 leaves the
+  /// protocol params untouched; > 0 overrides them. When > 1, run() narrows
+  /// the trial-level pool to threadCount()/shards so trials × shards stays
+  /// within the core budget.
+  std::uint32_t shards = 0;
 };
 
 // --- per-trial and aggregate results ----------------------------------------
@@ -238,6 +245,10 @@ class ExperimentRunner {
                                             const TrialFn& fn);
 
  private:
+  /// Shared fan-out core: aggregation is identical whichever pool runs it.
+  static ExperimentSummary runWith(ThreadPool& pool, const std::string& name,
+                                   std::uint32_t trials, const TrialFn& fn);
+
   std::unique_ptr<ThreadPool> pool_;
 };
 

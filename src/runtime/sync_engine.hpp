@@ -19,6 +19,21 @@
 //    recordBroadcast(from, bits, degree) for broadcasts and
 //    record(from, bits) for unicasts.
 //
+// Intra-trial sharding (DESIGN.md §10): the constructor takes a shard count S.
+// Nodes are partitioned into S contiguous shards of ceil(n/S) nodes; a shard
+// owns its nodes' inboxes. At S > 1 the engine owns a ThreadPool of S workers
+// and a round becomes: serial emit — parallel recv over per-shard touched
+// lists (a recv hook taking a ShardLane& queues sends into its shard's lane) —
+// serial canonical merge (per-recv-call run lengths interleave lane sends back
+// into global first-delivery order, reproducing the serial send-queue order
+// exactly) — serial counting/metering pass — parallel receiver-owned scatter
+// (each worker walks the canonical send order and writes only inboxes its
+// shard owns, so cursors are race-free and per-inbox order matches serial).
+// The invariant is the same one ExperimentRunner pins for trials: fingerprints
+// are bit-identical at any shard count, and S == 1 is exactly the legacy
+// serial path (same code, same object states, base RNG streams). recv hooks
+// with the legacy (NodeId, Round, span) signature still run serially at any S.
+//
 // A "window" is a bounded run of rounds (phase structures like Algorithm 2's
 // beacon/continue windows map onto it); `rounds == 0` means run until
 // quiescence or the engine-wide cap. Protocols that charge wall-clock for a
@@ -26,17 +41,26 @@
 // up with skipRounds().
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/metrics.hpp"
 #include "support/require.hpp"
 #include "support/types.hpp"
 
 namespace bzc {
+
+/// Shard counts above this are clamped: the sharded path arenas tag refs with
+/// a 4-bit shard index, and past ~16 shards the serial merge/count passes
+/// dominate anyway (Amdahl).
+inline constexpr unsigned kMaxEngineShards = 16;
 
 enum class WindowStatus {
   Completed,  ///< all requested rounds ran
@@ -69,6 +93,14 @@ struct NoEnd {
 
 template <typename Message>
 class SyncEngine {
+ private:
+  struct PendingSend {
+    NodeId from;
+    NodeId to;  ///< kNoNode = broadcast to all neighbors
+    Message payload;
+    std::size_t bits;
+  };
+
  public:
   struct Delivery {
     NodeId sender = kNoNode;
@@ -78,16 +110,76 @@ class SyncEngine {
     void operator()(NodeId, Round, std::span<const Delivery>) const noexcept {}
   };
 
-  /// maxTotalRounds == 0 disables the engine-wide cap.
-  SyncEngine(const Graph& g, const ByzantineSet& byz, std::uint64_t maxTotalRounds = 0)
+  /// Send handle passed to shard-aware recv hooks. At S == 1 it feeds the
+  /// engine's ordinary send queue (the legacy path, byte for byte); at S > 1
+  /// it feeds the calling shard's private lane, so recv-phase sends need no
+  /// synchronization. shard() indexes per-shard protocol state (forked RNG
+  /// streams, stat counters, arena lanes).
+  class ShardLane {
+   public:
+    void broadcast(NodeId from, Message payload, std::size_t bits) {
+      sink_->push_back({from, kNoNode, std::move(payload), bits});
+    }
+    void unicast(NodeId from, NodeId to, Message payload, std::size_t bits) {
+      sink_->push_back({from, to, std::move(payload), bits});
+    }
+    [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+
+   private:
+    friend class SyncEngine;
+    ShardLane(std::vector<PendingSend>* sink, unsigned shard) : sink_(sink), shard_(shard) {}
+    std::vector<PendingSend>* sink_;
+    unsigned shard_;
+  };
+
+  /// True when RecvFn has the shard-aware signature. Detected (not opted into)
+  /// so the flood overload and every legacy call site stay untouched.
+  template <typename RecvFn>
+  static constexpr bool kShardedRecv =
+      std::is_invocable_v<RecvFn&, ShardLane&, NodeId, Round, std::span<const Delivery>>;
+
+  /// maxTotalRounds == 0 disables the engine-wide cap. shards is clamped to
+  /// [1, min(kMaxEngineShards, n)]; 1 (the default) is the serial engine.
+  SyncEngine(const Graph& g, const ByzantineSet& byz, std::uint64_t maxTotalRounds = 0,
+             unsigned shards = 1)
       : graph_(g),
         byz_(byz),
         maxTotalRounds_(maxTotalRounds == 0 ? ~0ULL : maxTotalRounds),
         meter_(g.numNodes()),
         inboxCount_(g.numNodes(), 0),
         inboxStart_(g.numNodes(), 0),
-        inboxCursor_(g.numNodes(), 0) {
+        inboxCursor_(g.numNodes(), 0),
+        shards_(clampShards(shards, g.numNodes())) {
     BZC_REQUIRE(byz.numNodes() == g.numNodes(), "byzantine set size mismatch");
+    if (shards_ > 1) {
+      chunk_ = static_cast<NodeId>((g.numNodes() + shards_ - 1) / shards_);
+      lanes_.resize(shards_);
+      perShardTouched_.resize(shards_);
+      runCursor_.assign(shards_, 0);
+      sendCursor_.assign(shards_, 0);
+      pool_ = std::make_unique<ThreadPool>(shards_);
+    }
+  }
+
+  // --- sharding -------------------------------------------------------------
+  [[nodiscard]] unsigned shardCount() const noexcept { return shards_; }
+
+  /// Owning shard of node v (contiguous partition: v / ceil(n/S)).
+  [[nodiscard]] unsigned shardOf(NodeId v) const noexcept {
+    return shards_ > 1 ? static_cast<unsigned>(v / chunk_) : 0u;
+  }
+
+  /// Runs fn(shard, loNode, hiNode) over every shard's node range — on the
+  /// engine's pool at S > 1, inline at S == 1. For protocol phases that scan
+  /// all nodes with shard-owned writes (e.g. the beacon decision loop); it
+  /// hands out node ranges only, never send lanes.
+  template <typename Fn>
+  void forEachShard(Fn&& fn) {
+    if (shards_ == 1) {
+      fn(std::size_t{0}, NodeId{0}, graph_.numNodes());
+      return;
+    }
+    pool_->parallelFor(shards_, [&](std::size_t s) { fn(s, shardLo(s), shardHi(s)); });
   }
 
   // --- accounting -----------------------------------------------------------
@@ -112,8 +204,19 @@ class SyncEngine {
   void unicast(NodeId from, NodeId to, Message payload, std::size_t bits) {
     sendQueue_.push_back({from, to, std::move(payload), bits});
   }
-  void clearPending() noexcept { sendQueue_.clear(); }
-  [[nodiscard]] bool hasPending() const noexcept { return !sendQueue_.empty(); }
+  void clearPending() noexcept {
+    sendQueue_.clear();
+    if (shards_ > 1) {
+      for (Lane& lane : lanes_) {
+        lane.sends.clear();
+        lane.runLengths.clear();
+      }
+      flushOrder_.clear();
+    }
+  }
+  [[nodiscard]] bool hasPending() const noexcept {
+    return !sendQueue_.empty() || !flushOrder_.empty();
+  }
 
   /// Inbox of node v for the current round (valid inside recv/end hooks).
   [[nodiscard]] std::span<const Delivery> inboxOf(NodeId v) const {
@@ -124,8 +227,9 @@ class SyncEngine {
   // --- the round loop -------------------------------------------------------
   // Per round: cap check; advance the counter; emit(w); flush queued sends
   // into inboxes (metering honest senders); stop as Quiesced when nothing
-  // moved; recv(v, w, inbox) for each touched v in first-delivery order;
-  // end(w) — return false to stop; clear inboxes.
+  // moved; recv(v, w, inbox) for each touched v in first-delivery order
+  // (shard-parallel when the hook takes a ShardLane& and S > 1); end(w) —
+  // return false to stop; clear inboxes.
   template <typename EmitFn, typename RecvFn, typename EndFn>
   WindowResult runWindow(std::uint32_t rounds, EmitFn&& emit, RecvFn&& recv, EndFn&& end,
                          IdlePolicy idle = IdlePolicy::StopWhenIdle) {
@@ -138,19 +242,41 @@ class SyncEngine {
       ++round_;
       ++res.roundsRun;
       emit(static_cast<Round>(w));
-      flushing_.clear();
-      flushing_.swap(sendQueue_);  // sends queued from hooks target the next round
-      flush();
-      if (flushing_.empty() && idle == IdlePolicy::StopWhenIdle) {
+      bool anyTraffic;
+      if (shards_ > 1) {
+        anyTraffic = shardedFlush();
+      } else {
+        flushing_.clear();
+        flushing_.swap(sendQueue_);  // sends queued from hooks target the next round
+        flush();
+        anyTraffic = !flushing_.empty();
+      }
+      if (!anyTraffic && idle == IdlePolicy::StopWhenIdle) {
         res.status = WindowStatus::Quiesced;
         return res;
       }
-      for (NodeId v : touched_) {
-        recv(v, static_cast<Round>(w), inboxOf(v));
+      if constexpr (kShardedRecv<RecvFn>) {
+        if (shards_ > 1) {
+          runShardedRecv(static_cast<Round>(w), recv);
+        } else {
+          ShardLane lane(&sendQueue_, 0);  // legacy queue: serial order as-is
+          for (NodeId v : touched_) {
+            recv(lane, v, static_cast<Round>(w), inboxOf(v));
+          }
+        }
+      } else {
+        // Legacy hook signature: always serial, even at S > 1 (its sends go
+        // through broadcast()/unicast() into sendQueue_, preserving order).
+        for (NodeId v : touched_) {
+          recv(v, static_cast<Round>(w), inboxOf(v));
+        }
       }
       const bool keep = end(static_cast<Round>(w));
       for (NodeId v : touched_) inboxCount_[v] = 0;
       touched_.clear();
+      if (shards_ > 1) {
+        for (std::vector<NodeId>& t : perShardTouched_) t.clear();
+      }
       if (!keep) {
         res.status = WindowStatus::Stopped;
         return res;
@@ -167,12 +293,23 @@ class SyncEngine {
   }
 
  private:
-  struct PendingSend {
-    NodeId from;
-    NodeId to;  ///< kNoNode = broadcast to all neighbors
-    Message payload;
-    std::size_t bits;
+  struct Lane {
+    std::vector<PendingSend> sends;
+    std::vector<std::uint32_t> runLengths;  ///< sends per recv call, in perShardTouched_ order
   };
+
+  [[nodiscard]] static unsigned clampShards(unsigned s, NodeId n) noexcept {
+    if (s == 0) s = 1;
+    if (s > kMaxEngineShards) s = kMaxEngineShards;
+    if (n > 0 && s > static_cast<unsigned>(n)) s = static_cast<unsigned>(n);
+    return s;
+  }
+  [[nodiscard]] NodeId shardLo(std::size_t s) const noexcept {
+    return std::min<NodeId>(graph_.numNodes(), static_cast<NodeId>(s) * chunk_);
+  }
+  [[nodiscard]] NodeId shardHi(std::size_t s) const noexcept {
+    return std::min<NodeId>(graph_.numNodes(), shardLo(s) + chunk_);
+  }
 
   // Batched delivery: one counting pass sizes every inbox, receivers get
   // contiguous slices of a single round arena (offsets assigned in
@@ -206,8 +343,14 @@ class SyncEngine {
     if (inboxArena_.size() < total) inboxArena_.resize(total);
     for (PendingSend& p : flushing_) {
       if (p.to == kNoNode) {
-        for (NodeId v : graph_.neighbors(p.from)) {
-          inboxArena_[inboxCursor_[v]++] = {p.from, Message(p.payload)};
+        // The final delivery slot gets the payload moved, not copied: message
+        // types carrying buffers (walk tokens) pay one copy per neighbor less.
+        const auto nbrs = graph_.neighbors(p.from);
+        for (std::size_t j = 0; j + 1 < nbrs.size(); ++j) {
+          inboxArena_[inboxCursor_[nbrs[j]]++] = {p.from, Message(p.payload)};
+        }
+        if (!nbrs.empty()) {
+          inboxArena_[inboxCursor_[nbrs.back()]++] = {p.from, std::move(p.payload)};
         }
       } else {
         // A unicast has exactly one receiver and flushing_ is discarded after
@@ -216,6 +359,107 @@ class SyncEngine {
         inboxArena_[inboxCursor_[p.to]++] = {p.from, std::move(p.payload)};
       }
     }
+  }
+
+  // Shard-parallel recv: each worker serves its shard's touched nodes (global
+  // first-delivery order restricted to the shard preserves relative order) and
+  // records, per recv call, how many sends the hook queued (a run length).
+  // The serial merge then walks the *global* touched_ list, consuming each
+  // node's run from its shard's lane — reproducing the exact send order the
+  // serial engine would have built, at any shard count.
+  template <typename RecvFn>
+  void runShardedRecv(Round w, RecvFn& recv) {
+    pool_->parallelFor(shards_, [&](std::size_t s) {
+      Lane& lane = lanes_[s];
+      ShardLane handle(&lane.sends, static_cast<unsigned>(s));
+      std::size_t mark = lane.sends.size();
+      for (NodeId v : perShardTouched_[s]) {
+        recv(handle, v, w, inboxOf(v));
+        lane.runLengths.push_back(static_cast<std::uint32_t>(lane.sends.size() - mark));
+        mark = lane.sends.size();
+      }
+    });
+    std::fill(runCursor_.begin(), runCursor_.end(), 0);
+    std::fill(sendCursor_.begin(), sendCursor_.end(), 0);
+    for (NodeId v : touched_) {
+      const unsigned s = shardOf(v);
+      const std::uint32_t len = lanes_[s].runLengths[runCursor_[s]++];
+      for (std::uint32_t k = 0; k < len; ++k) {
+        flushOrder_.push_back(&lanes_[s].sends[sendCursor_[s]++]);
+      }
+    }
+    // Lane storage stays live (flushOrder_ points into it) until the next
+    // shardedFlush consumes it; nothing appends to lanes outside recv, so the
+    // pointers cannot be invalidated by reallocation in between.
+  }
+
+  // Sharded flush. Canonical order = recv-phase lane sends (already merged
+  // into flushOrder_) followed by serial-context sends (end/emit/seed, from
+  // sendQueue_) — exactly the serial engine's FIFO. Pass 1 counts inboxes,
+  // builds touched lists and meters honest senders serially in that order
+  // (serial metering here subsumes the per-shard meter reduction: same sums,
+  // same per-sender attribution). Pass 3 scatters receiver-owned in parallel:
+  // every worker walks the full canonical order but writes only inboxes its
+  // shard owns, so inboxCursor_ entries are single-writer and each inbox fills
+  // in canonical order — bit-identical to serial.
+  bool shardedFlush() {
+    if (!sendQueue_.empty()) {
+      flushOrder_.reserve(flushOrder_.size() + sendQueue_.size());
+      for (PendingSend& p : sendQueue_) flushOrder_.push_back(&p);
+    }
+    if (flushOrder_.empty()) return false;
+    for (const PendingSend* p : flushOrder_) {
+      if (p->to == kNoNode) {
+        if (!byz_.contains(p->from)) {
+          meter_.recordBroadcast(p->from, p->bits, graph_.degree(p->from));
+        }
+        for (NodeId v : graph_.neighbors(p->from)) {
+          if (inboxCount_[v]++ == 0) {
+            touched_.push_back(v);
+            perShardTouched_[shardOf(v)].push_back(v);
+          }
+        }
+      } else {
+        if (!byz_.contains(p->from)) meter_.record(p->from, p->bits);
+        if (inboxCount_[p->to]++ == 0) {
+          touched_.push_back(p->to);
+          perShardTouched_[shardOf(p->to)].push_back(p->to);
+        }
+      }
+    }
+    std::size_t total = 0;
+    for (NodeId v : touched_) {
+      inboxStart_[v] = total;
+      inboxCursor_[v] = total;
+      total += inboxCount_[v];
+    }
+    if (inboxArena_.size() < total) inboxArena_.resize(total);
+    pool_->parallelFor(shards_, [&](std::size_t s) {
+      const NodeId lo = shardLo(s);
+      const NodeId hi = shardHi(s);
+      for (PendingSend* p : flushOrder_) {
+        if (p->to == kNoNode) {
+          // Broadcasts copy into every owned slot: the move-into-last trick of
+          // the serial flush would race here (workers on other shards read the
+          // same payload concurrently).
+          for (NodeId v : graph_.neighbors(p->from)) {
+            if (v >= lo && v < hi) {
+              inboxArena_[inboxCursor_[v]++] = {p->from, Message(p->payload)};
+            }
+          }
+        } else if (p->to >= lo && p->to < hi) {
+          // Unicast: single receiver, single owner — safe to move.
+          inboxArena_[inboxCursor_[p->to]++] = {p->from, std::move(p->payload)};
+        }
+      }
+    });
+    sendQueue_.clear();
+    for (Lane& lane : lanes_) {
+      lane.sends.clear();
+      lane.runLengths.clear();
+    }
+    flushOrder_.clear();
+    return true;
   }
 
   const Graph& graph_;
@@ -231,6 +475,16 @@ class SyncEngine {
   std::vector<std::size_t> inboxStart_;     ///< arena offset; valid when inboxCount_ > 0
   std::vector<std::size_t> inboxCursor_;    ///< scatter cursor during flush()
   std::vector<NodeId> touched_;
+
+  // Sharding state (allocated only at S > 1).
+  unsigned shards_ = 1;
+  NodeId chunk_ = 0;                        ///< shard width: ceil(n / S)
+  std::unique_ptr<ThreadPool> pool_;        ///< S workers, owned by the engine
+  std::vector<Lane> lanes_;                 ///< per-shard recv-phase outboxes
+  std::vector<std::vector<NodeId>> perShardTouched_;
+  std::vector<PendingSend*> flushOrder_;    ///< canonical send order for the next flush
+  std::vector<std::size_t> runCursor_;      ///< merge: next run length per shard
+  std::vector<std::size_t> sendCursor_;     ///< merge: next lane send per shard
 };
 
 }  // namespace bzc
