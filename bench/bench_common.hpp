@@ -149,16 +149,19 @@ inline void appendJsonDist(std::ostringstream& os, const char* key, const Distri
 /// labels to report and to orient lower-is-better metrics like staleness).
 inline void maybeEmitJson(const ExperimentSummary& s,
                           const std::vector<std::string>& extraNames = {},
-                          unsigned shards = 0) {
+                          unsigned shards = 0, unsigned pipelineDepth = 0) {
   if (!jsonOutputEnabled()) return;
   std::ostringstream os;
   os.precision(12);
   os << "{\"name\":\"" << s.name << "\",\"trials\":" << s.trials
      << ",\"cappedTrials\":" << s.cappedTrials;
-  // Emitted only for sharded rows so legacy trajectories stay byte-stable;
-  // tools/diff_bench_json.py reports shard-count changes alongside the
-  // metric deltas (a 1 -> 4 shard row is a config change, not a regression).
+  // Emitted only for sharded/pipelined rows so legacy trajectories stay
+  // byte-stable; tools/diff_bench_json.py reports shard-count and
+  // pipeline-depth changes alongside the metric deltas (a 1 -> 4 shard or
+  // depth bump is a config change, not a regression — the fingerprints are
+  // invariant either way).
   if (shards > 0) os << ",\"shards\":" << shards;
+  if (pipelineDepth > 0) os << ",\"pipelineDepth\":" << pipelineDepth;
   os << ",\"combinedFingerprint\":\"0x" << std::hex << s.combinedFingerprint << std::dec
      << "\",";
   if (!extraNames.empty()) {
@@ -195,11 +198,15 @@ inline void maybeEmitJson(const ExperimentSummary& s,
   }
 }
 
-/// Declarative row: run spec on the runner and emit the JSON line.
+/// Declarative row: run spec on the runner and emit the JSON line. Depth-1
+/// churn rows omit the pipelineDepth key so pre-pipeline trajectories stay
+/// byte-stable.
 inline ExperimentSummary runScenario(ExperimentRunner& runner, const ScenarioSpec& spec,
                                      const std::vector<std::string>& extraNames = {}) {
   ExperimentSummary s = runner.run(spec);
-  maybeEmitJson(s, extraNames, spec.shards);
+  const unsigned depth =
+      spec.churn.enabled() && spec.churn.pipelineDepth > 1 ? spec.churn.pipelineDepth : 0;
+  maybeEmitJson(s, extraNames, spec.shards, depth);
   return s;
 }
 

@@ -87,18 +87,19 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
   std::vector<std::uint8_t> answersSeen(n, 0);
   std::vector<std::uint8_t> answersExpected(n, 0);
 
-  // Per-shard adversary state for the shard-parallel recv phase. At S == 1
-  // everything resolves to the base objects, keeping the serial path (and its
-  // RNG sequence) byte-identical to the pre-sharding engine. At S > 1 each
-  // shard draws from its own fork and counts into its own sinks; sinks are
-  // summed after the run (sums are shard-order invariant).
-  std::vector<Rng> advLane;
-  if (S > 1) {
-    advLane.reserve(S);
-    for (unsigned s = 0; s < S; ++s) advLane.push_back(advRng.fork(s));
-  }
+  // Per-receiver adversary streams: every node refreshes its own fork of
+  // advRng at each iteration (tag order: iteration, then node) and strategy
+  // hooks at node v draw only from v's stream. Each node's deliveries arrive
+  // in canonical inbox order at any shard count (receiver-owned recv, PR 6),
+  // so the whole draw sequence is a pure function of (iteration, node,
+  // delivery order) — shard-count *invariant*, not merely deterministic per
+  // count, which lets sharding_test pin the drawing strategies (tamperer,
+  // fractional dropper/flipper) alongside the draw-free class. Honest nodes
+  // need streams too: forgeAnswer fires wherever a tainted token ends its
+  // walk. Stats stay per-shard and are summed after the run (sums are
+  // shard-order invariant).
+  std::vector<Rng> recvRng(n);
   std::vector<AdversaryStats> statsLane(S > 1 ? S : 0);
-  const auto rngAt = [&](unsigned s) -> Rng& { return S > 1 ? advLane[s] : advRng; };
   const auto statsAt = [&](unsigned s) -> AdversaryStats& {
     return S > 1 ? statsLane[s] : out.adversary;
   };
@@ -116,7 +117,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     // this is constant within an iteration.
     const auto ctxAt = [&](NodeId at) {
       return WalkContext{at,     w,         g,      arena, curOnes, honest,
-                         params.victim, coalition, rngAt(shard), statsAt(shard)};
+                         params.victim, coalition, recvRng[at], statsAt(shard)};
     };
     for (const Engine::Delivery& d : box) {
       WalkToken t = d.payload;  // O(1): the reverse path lives in the arena
@@ -206,6 +207,10 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     std::fill(answersSeen.begin(), answersSeen.end(), 0);
     std::fill(answersExpected.begin(), answersExpected.end(), 0);
     arena.clear();  // no token outlives its iteration window
+
+    // Fresh per-receiver streams for this iteration (see recvRng above).
+    const Rng iterAdv = advRng.fork(it);
+    for (NodeId u = 0; u < n; ++u) recvRng[u] = iterAdv.fork(u);
 
     // Launch two sample tokens per active node; the first hop seeds round 1.
     for (NodeId u = 0; u < n; ++u) {

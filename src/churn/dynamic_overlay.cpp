@@ -270,28 +270,38 @@ void DynamicOverlay::repairToRegular(Rng& rng) {
 }
 
 OverlaySnapshot DynamicOverlay::snapshot() const {
-  const NodeId n = static_cast<NodeId>(members_.size());
   OverlaySnapshot snap;
+  snapshotInto(snap);
+  return snap;
+}
+
+void DynamicOverlay::snapshotInto(OverlaySnapshot& out) const {
+  const NodeId n = static_cast<NodeId>(members_.size());
   // members_ is an arbitrary permutation after swap-compacted departures;
   // dense indices must stay in increasing global-id order (epoch bookkeeping
   // maps dense -> id monotonically), so build a sort-by-id permutation and
   // its inverse for the edge mapping. Zero-churn trajectories keep members_
   // sorted, making `order` the identity — snapshots stay bit-identical.
-  std::vector<std::size_t> order(members_.size());
+  std::vector<std::size_t>& order = snapOrder_;
+  order.resize(members_.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     return members_[a].id < members_[b].id;
   });
-  std::vector<NodeId> denseOf(members_.size());
+  std::vector<NodeId>& denseOf = snapDenseOf_;
+  denseOf.resize(members_.size());
   for (std::size_t dense = 0; dense < order.size(); ++dense)
     denseOf[order[dense]] = static_cast<NodeId>(dense);
-  snap.denseToId.reserve(n);
-  std::vector<NodeId> byzDense;
+  out.denseToId.clear();
+  out.denseToId.reserve(n);
+  std::vector<NodeId>& byzDense = snapByzDense_;
+  byzDense.clear();
   for (NodeId dense = 0; dense < n; ++dense) {
-    snap.denseToId.push_back(members_[order[dense]].id);
+    out.denseToId.push_back(members_[order[dense]].id);
     if (members_[order[dense]].byzantine) byzDense.push_back(dense);
   }
-  std::vector<std::pair<NodeId, NodeId>> denseEdges;
+  std::vector<std::pair<NodeId, NodeId>>& denseEdges = snapEdges_;
+  denseEdges.clear();
   denseEdges.reserve(edges_.size());
   for (const auto& [a, b] : edges_) {
     const std::size_t ia = indexOf(a);
@@ -302,9 +312,8 @@ OverlaySnapshot DynamicOverlay::snapshot() const {
   // Graph's CSR form is canonical in the edge *multiset* (adjacency is
   // sorted per node), so snapshot equality only needs membership+edge
   // equality — the zero-churn identity tests rely on this.
-  snap.graph = Graph(n, denseEdges);
-  snap.byz = ByzantineSet(n, std::move(byzDense));
-  return snap;
+  out.graph = Graph(n, denseEdges);
+  out.byz = ByzantineSet(n, byzDense);
 }
 
 }  // namespace bzc

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <future>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "churn/churn_model.hpp"
 #include "churn/dynamic_overlay.hpp"
 #include "graph/expansion.hpp"
 #include "runtime/fingerprint.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/require.hpp"
 
 namespace bzc {
@@ -60,6 +65,27 @@ double agreementFraction(const ScenarioSpec& spec, const TrialOutcome& outcome) 
   return outcome.extra[kAgreementFracAgreeing];
 }
 
+/// One epoch's record as it moves through the pipeline: the overlay stage
+/// fills `report`'s membership/churn/gap fields and (when the cadence says
+/// recount) dispatches the protocol run; the serial finalization pass folds
+/// `out` into the running estimate/staleness state in epoch order.
+struct EpochStage {
+  EpochReport report;
+  double trueLogN = 0.0;
+  bool recount = false;
+  TrialOutcome out;                ///< recount result (inline, or retired from fut)
+  std::future<TrialOutcome> fut;   ///< valid while the recount is in flight
+};
+
+constexpr std::size_t kNoStage = static_cast<std::size_t>(-1);
+
+/// A reusable snapshot buffer plus the stage that last recounted from it —
+/// the slot cannot be overwritten until that recount retired.
+struct SnapshotSlot {
+  OverlaySnapshot snap;
+  std::size_t stage = kNoStage;
+};
+
 }  // namespace
 
 const char* churnExtraSlotName(std::size_t slot) {
@@ -85,6 +111,23 @@ const char* churnExtraSlotName(std::size_t slot) {
   return "?";
 }
 
+// Pipelined epoch execution (DESIGN.md §11). The trial runs as two stages:
+//
+//   overlay stage (serial, this thread): churn events -> repair -> snapshot
+//     -> spectral-gap probe. Inherently sequential — each epoch's overlay is
+//     the previous epoch's plus one event batch, and the Fiedler warm start
+//     carries the previous probe's vector.
+//   recount stage (parallel, pool workers): runProtocolTrial on a finished
+//     snapshot. A pure function of (epochSpec, snapshot, per-epoch forked
+//     Rng), so recounts of different epochs are mutually independent.
+//
+// The overlay stage runs ahead, keeping up to pipelineDepth recounts in
+// flight; every fold that *reads* recount outputs (estimate, staleness,
+// drift, the fingerprint chain, the totals) is deferred to a serial
+// finalization pass over the stages in epoch order, which is what makes the
+// pipelined schedule bit-identical to the sequential one at any depth.
+// Depth 1 runs the recount inline on this thread (no pool at all) — the
+// legacy serial schedule through the same code.
 ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t index) {
   BZC_REQUIRE(spec.churn.enabled(), "runChurnTrial needs an enabled ChurnSchedule");
   BZC_REQUIRE(spec.churn.epochs >= 1, "churn schedule needs at least one epoch");
@@ -105,26 +148,36 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
   std::unique_ptr<ChurnModel> model =
       spec.churn.kind != ChurnModelKind::None ? makeChurnModel(spec.churn) : nullptr;
 
-  ChurnTrialResult result;
-  result.epochs.reserve(spec.churn.epochs);
-  TrialOutcome& total = result.outcome;
-  bool haveFingerprint = false;
-  double estimate = 0.0;       // ln-scale estimate the network currently runs on
-  double anchorLogN = 0.0;     // ln n at the last recount (drift reference)
-  double lastAgree = 0.0;
-  double stalenessSum = 0.0, stalenessMax = 0.0, gapSum = 0.0;
-  double driftSum = 0.0, driftMax = 0.0;
+  const std::uint32_t depth = std::max<std::uint32_t>(1, spec.churn.pipelineDepth);
+
+  double gapSum = 0.0;
   double firstGap = 0.0, lastGap = 0.0;
   std::uint64_t joins = 0, leaves = 0, rewires = 0;
-  std::uint32_t recounts = 0;
   // Spectral-probe warm-start carry: the previous epoch's Fiedler vector and
-  // the global ids its entries belong to.
+  // the global ids its entries belong to. Serial overlay-stage state.
   std::vector<double> gapState;
   std::vector<std::uint64_t> gapStateIds;
   std::uint64_t gapProbeIters = 0;
 
+  std::vector<EpochStage> stages(spec.churn.epochs);
+  // Snapshot ring: depth recounts in flight plus the epoch being
+  // materialised. Fixed size, so slot addresses are stable for the recount
+  // lambdas. Declared before (destroyed after) the pool: if a fold throws
+  // mid-retire, workers still finishing queued recounts must find their
+  // slots alive.
+  std::vector<SnapshotSlot> ring(static_cast<std::size_t>(depth) + 1);
+  std::deque<std::size_t> inflight;  ///< stage indices with unretired futures
+  std::unique_ptr<ThreadPool> recountPool;
+  if (depth > 1 && spec.churn.epochs > 1) {
+    recountPool = std::make_unique<ThreadPool>(depth);
+  }
+  const auto retire = [&stages](std::size_t s) {
+    if (stages[s].fut.valid()) stages[s].out = stages[s].fut.get();
+  };
+
   for (std::uint32_t epoch = 1; epoch <= spec.churn.epochs; ++epoch) {
-    EpochReport report;
+    EpochStage& stage = stages[epoch - 1];
+    EpochReport& report = stage.report;
     report.epoch = epoch;
 
     if (epoch > 1 && model) {
@@ -142,18 +195,24 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
       rewires += report.rewires;
     }
 
-    // Materialise this epoch's snapshot. Epoch 1 reuses the already-built
+    // Materialise this epoch's snapshot into its ring slot, first waiting out
+    // any recount still reading the slot (epoch - depth - 1 or older: the
+    // natural pipeline-full backpressure). Epoch 1 reuses the already-built
     // static trial verbatim (the overlay round-trip is identity there, but
     // handing the protocol the original objects keeps that fact structural).
-    OverlaySnapshot snap;
+    SnapshotSlot& slot = ring[(epoch - 1) % ring.size()];
+    if (slot.stage != kNoStage) retire(slot.stage);
+    slot.stage = kNoStage;
+    OverlaySnapshot& snap = slot.snap;
     if (epoch == 1) {
       snap.graph = std::move(initial.graph);
       snap.byz = std::move(initial.byz);
+      snap.denseToId.clear();
     } else {
-      snap = overlay.snapshot();
+      overlay.snapshotInto(snap);
     }
     const NodeId liveN = snap.graph.numNodes();
-    const double trueLogN = std::log(static_cast<double>(liveN));
+    stage.trueLogN = std::log(static_cast<double>(liveN));
     report.liveN = liveN;
     report.byzCount = snap.byz.count();
 
@@ -184,8 +243,8 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
     lastGap = report.spectralGap;
     if (epoch == 1) firstGap = report.spectralGap;
 
-    const bool recount = (epoch - 1) % spec.churn.recountEvery == 0;
-    if (recount) {
+    stage.recount = (epoch - 1) % spec.churn.recountEvery == 0;
+    if (stage.recount) {
       ScenarioSpec epochSpec = spec;
       // Node indices are dense per epoch; configured focus nodes must stay
       // in range when the overlay shrinks below them (the root additionally
@@ -195,7 +254,46 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
       epochSpec.treeParams.root =
           std::min<NodeId>(spec.treeParams.root, liveN > 0 ? liveN - 1 : 0);
       Rng protoRng = epoch == 1 ? std::move(initial.runRng) : recountBase.fork(epoch);
-      TrialOutcome out = runProtocolTrial(epochSpec, snap.graph, snap.byz, std::move(protoRng));
+      if (recountPool) {
+        while (inflight.size() >= depth) {  // cap in-flight recounts at depth
+          retire(inflight.front());
+          inflight.pop_front();
+        }
+        const OverlaySnapshot* snapPtr = &snap;
+        stage.fut = recountPool->submit(
+            [es = std::move(epochSpec), snapPtr, rng = std::move(protoRng)]() mutable {
+              return runProtocolTrial(es, snapPtr->graph, snapPtr->byz, std::move(rng));
+            });
+        slot.stage = epoch - 1;
+        inflight.push_back(epoch - 1);
+      } else {
+        stage.out = runProtocolTrial(epochSpec, snap.graph, snap.byz, std::move(protoRng));
+      }
+    }
+  }
+  while (!inflight.empty()) {
+    retire(inflight.front());
+    inflight.pop_front();
+  }
+
+  // Serial finalization: fold recount outputs and the estimate/staleness/
+  // drift chain in epoch order — identical arithmetic, identical order, at
+  // every pipeline depth.
+  ChurnTrialResult result;
+  result.epochs.reserve(spec.churn.epochs);
+  TrialOutcome& total = result.outcome;
+  bool haveFingerprint = false;
+  double estimate = 0.0;       // ln-scale estimate the network currently runs on
+  double anchorLogN = 0.0;     // ln n at the last recount (drift reference)
+  double lastAgree = 0.0;
+  double stalenessSum = 0.0, stalenessMax = 0.0;
+  double driftSum = 0.0, driftMax = 0.0;
+  std::uint32_t recounts = 0;
+  for (EpochStage& stage : stages) {
+    EpochReport& report = stage.report;
+    const double trueLogN = stage.trueLogN;
+    if (stage.recount) {
+      const TrialOutcome& out = stage.out;
       ++recounts;
       report.recounted = true;
       report.rounds = out.totalRounds;

@@ -17,6 +17,14 @@
 // is the static kProtocolStream fork, which is what makes the zero-churn
 // identity exact rather than statistical.
 //
+// Execution is a depth-bounded software pipeline (ChurnSchedule::
+// pipelineDepth, DESIGN.md §11): the serial overlay stage (events, repair,
+// snapshot, warm-started gap probe) runs ahead while up to `depth` recounts
+// — pure functions of their materialised snapshots — execute on pool
+// workers; the estimate/staleness/drift fold is a serial finalization pass
+// in epoch order, so every depth produces the identical ChurnTrialResult
+// (epoch_pipeline_test pins depth 1 == depth D, report by report).
+//
 // Reporting: per-trial aggregates land in TrialOutcome::extra under
 // ChurnExtraSlot (deliberately outside fingerprint(), like the adversary
 // diagnostics, so the static goldens stay pinned); per-epoch rows are

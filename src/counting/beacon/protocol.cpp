@@ -104,27 +104,30 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
   Coalition& board = coalition != nullptr ? *coalition : localCoalition;
   BeaconObservables obs;
 
-  // Per-shard adversary state for the shard-parallel windows (DESIGN.md §10).
+  // Adversary state for the shard-parallel windows (DESIGN.md §10-§11).
   // Serial slots (activation forging, continue spam — they interleave draws
   // with honest activation draws) always resolve to the base fakeRng and the
-  // run-total stats via kSerialSlot; at S == 1 the recv hooks do too, keeping
-  // the single-shard run byte-identical to the pre-sharding engine.
+  // run-total stats via kSerialSlot, at every shard count — which is what
+  // keeps the draw-free/serial-slot goldens (none, flooders) pinned. Recv
+  // hooks draw from per-receiver streams instead: each Byzantine node
+  // refreshes its own fork per (phase, iteration) and consumes it in its
+  // canonical inbox order, so recv-drawing strategies (tamperer, grafter,
+  // full) are shard-count *invariant*, not merely deterministic per count
+  // (sharding_test pins the full gallery). Stats stay per-shard; sums are
+  // shard-order invariant.
   constexpr unsigned kSerialSlot = ~0u;
-  std::vector<Rng> fakeLane;
-  if (S > 1) {
-    fakeLane.reserve(S);
-    for (unsigned s = 0; s < S; ++s) fakeLane.push_back(fakeRng.fork(s));
-  }
+  const Rng recvBase = fakeRng.fork(0xbe4c);  // fixed recv-stream tag
+  std::vector<Rng> recvRng(n);
   std::vector<BeaconAdversaryStats> advLane(S > 1 ? S : 0);
-  const auto fakeAt = [&](unsigned s) -> Rng& {
-    return (S > 1 && s != kSerialSlot) ? fakeLane[s] : fakeRng;
+  const auto fakeAt = [&](NodeId at, unsigned s) -> Rng& {
+    return s == kSerialSlot ? fakeRng : recvRng[at];
   };
   const auto advStatsAt = [&](unsigned s) -> BeaconAdversaryStats& {
     return (S > 1 && s != kSerialSlot) ? advLane[s] : out.stats.adversary;
   };
   const auto ctxAt = [&](NodeId at, Round r, unsigned s) {
     return BeaconContext{at,    r, g, arena.lane((S > 1 && s != kSerialSlot) ? s : 0u),
-                         board, fakeAt(s), advStatsAt(s), obs};
+                         board, fakeAt(at, s), advStatsAt(s), obs};
   };
 
   bool capped = false;
@@ -171,6 +174,12 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       obs.undecidedHonest = undecidedHonest;
       obs.blacklistInsertions = out.stats.blacklistInsertions;
       obs.honestBeacons = out.stats.beaconsGenerated;
+
+      // Fresh per-receiver streams for this (phase, iteration). Only
+      // Byzantine nodes fire recv hooks, so only they need streams.
+      const Rng iterFake =
+          recvBase.fork((static_cast<std::uint64_t>(phase) << 32) | iter);
+      for (NodeId b : byz.members()) recvRng[b] = iterFake.fork(b);
 
       // --- Line 5-11: activations, queued as round-1 broadcasts. Byzantine
       // --- nodes get the iteration-boundary forge hook in the same slot. ---

@@ -307,12 +307,16 @@ unsigned ExperimentRunner::threadCount() const noexcept { return pool_->threadCo
 
 ExperimentSummary ExperimentRunner::run(const ScenarioSpec& spec) {
   const TrialFn fn = [&spec](std::uint32_t index) { return runTrial(spec, index); };
-  if (spec.shards > 1) {
-    // trials × shards ≤ cores policy: each trial's engine spins up its own
-    // shard workers, so the trial-level fan-out narrows to compensate. The
-    // outcome is unchanged either way (trials are pure functions of their
-    // index) — only scheduling shifts.
-    ThreadPool narrowed(std::max(1u, threadCount() / spec.shards));
+  // trials × shards × pipelineDepth ≤ cores policy: each trial's engine spins
+  // up its own shard workers and each churn trial its own recount-pipeline
+  // workers, so the trial-level fan-out narrows to compensate. The outcome is
+  // unchanged either way (trials are pure functions of their index) — only
+  // scheduling shifts.
+  const unsigned pipeline =
+      spec.churn.enabled() ? std::max<std::uint32_t>(1, spec.churn.pipelineDepth) : 1;
+  const unsigned perTrial = std::max(1u, spec.shards) * pipeline;
+  if (perTrial > 1) {
+    ThreadPool narrowed(std::max(1u, threadCount() / perTrial));
     return runWith(narrowed, spec.name, spec.trials, fn);
   }
   return runWith(*pool_, spec.name, spec.trials, fn);
@@ -327,8 +331,13 @@ ExperimentSummary ExperimentRunner::runWith(ThreadPool& pool, const std::string&
                                             std::uint32_t trials, const TrialFn& fn) {
   BZC_REQUIRE(trials > 0, "need at least one trial");
   std::vector<TrialOutcome> outcomes(trials);
-  pool.parallelFor(trials, [&](std::size_t i) {
-    outcomes[i] = fn(static_cast<std::uint32_t>(i));
+  // Chunked dispatch: one std::function call per worker instead of one per
+  // trial. Which worker runs a trial never matters (pure function of the
+  // index), so the static partition is invisible in the results.
+  pool.parallelForChunked(trials, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      outcomes[i] = fn(static_cast<std::uint32_t>(i));
+    }
   });
 
   // Aggregation walks trials in index order, so the summary (and especially

@@ -179,7 +179,9 @@ class SyncEngine {
       fn(std::size_t{0}, NodeId{0}, graph_.numNodes());
       return;
     }
-    pool_->parallelFor(shards_, [&](std::size_t s) { fn(s, shardLo(s), shardHi(s)); });
+    pool_->parallelForChunked(shards_, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t s = lo; s < hi; ++s) fn(s, shardLo(s), shardHi(s));
+    });
   }
 
   // --- accounting -----------------------------------------------------------
@@ -369,14 +371,16 @@ class SyncEngine {
   // serial engine would have built, at any shard count.
   template <typename RecvFn>
   void runShardedRecv(Round w, RecvFn& recv) {
-    pool_->parallelFor(shards_, [&](std::size_t s) {
-      Lane& lane = lanes_[s];
-      ShardLane handle(&lane.sends, static_cast<unsigned>(s));
-      std::size_t mark = lane.sends.size();
-      for (NodeId v : perShardTouched_[s]) {
-        recv(handle, v, w, inboxOf(v));
-        lane.runLengths.push_back(static_cast<std::uint32_t>(lane.sends.size() - mark));
-        mark = lane.sends.size();
+    pool_->parallelForChunked(shards_, [&](std::size_t cLo, std::size_t cHi) {
+      for (std::size_t s = cLo; s < cHi; ++s) {
+        Lane& lane = lanes_[s];
+        ShardLane handle(&lane.sends, static_cast<unsigned>(s));
+        std::size_t mark = lane.sends.size();
+        for (NodeId v : perShardTouched_[s]) {
+          recv(handle, v, w, inboxOf(v));
+          lane.runLengths.push_back(static_cast<std::uint32_t>(lane.sends.size() - mark));
+          mark = lane.sends.size();
+        }
       }
     });
     std::fill(runCursor_.begin(), runCursor_.end(), 0);
@@ -434,13 +438,14 @@ class SyncEngine {
       total += inboxCount_[v];
     }
     if (inboxArena_.size() < total) inboxArena_.resize(total);
-    pool_->parallelFor(shards_, [&](std::size_t s) {
-      const NodeId lo = shardLo(s);
-      const NodeId hi = shardHi(s);
+    pool_->parallelForChunked(shards_, [&](std::size_t cLo, std::size_t cHi) {
+      // A chunk of contiguous shards owns one contiguous node range.
+      const NodeId lo = shardLo(cLo);
+      const NodeId hi = shardHi(cHi - 1);
       for (PendingSend* p : flushOrder_) {
         if (p->to == kNoNode) {
           // Broadcasts copy into every owned slot: the move-into-last trick of
-          // the serial flush would race here (workers on other shards read the
+          // the serial flush would race here (workers on other chunks read the
           // same payload concurrently).
           for (NodeId v : graph_.neighbors(p->from)) {
             if (v >= lo && v < hi) {

@@ -46,14 +46,47 @@ void ThreadPool::parallelFor(std::size_t count, const std::function<void(std::si
   }
 }
 
+void ThreadPool::parallelForChunked(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min<std::size_t>(threads_, count);
+  const std::size_t width = (count + chunks - 1) / chunks;
+  parallelFor(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * width;
+    body(lo, std::min(count, lo + width));
+  });
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
 void ThreadPool::workerLoop() {
   std::uint64_t seenGeneration = 0;
   for (;;) {
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stopping_ || generation_ != seenGeneration; });
-      if (stopping_) return;
-      seenGeneration = generation_;
+      wake_.wait(lock, [&] {
+        return stopping_ || generation_ != seenGeneration || !tasks_.empty();
+      });
+      if (!tasks_.empty()) {
+        // Tasks drain even during shutdown so submitted futures never break.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (stopping_) {
+        return;
+      } else {
+        seenGeneration = generation_;
+      }
+    }
+    if (task) {
+      task();  // packaged_task traps exceptions into the future
+      continue;
     }
     drain();
     {

@@ -1,0 +1,195 @@
+// Tests for pipelined epoch execution (ChurnSchedule::pipelineDepth): paired
+// bit-identity of the depth-D pipeline against the depth-1 serial path across
+// every churn model, thread-count invariance with pipelining on, and the
+// depth-greater-than-epochs edge case. These are the pins behind the claim in
+// DESIGN.md §11 that pipelineDepth is a pure performance knob — every field of
+// ChurnTrialResult, including each EpochReport, must match exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "churn/epoch_runner.hpp"
+#include "churn/schedule.hpp"
+#include "runtime/experiment.hpp"
+
+namespace bzc {
+namespace {
+
+ScenarioSpec basePipelineSpec() {
+  ScenarioSpec spec;
+  spec.name = "epoch-pipeline";
+  spec.graph = {GraphKind::Hnd, 128, 8, 0.1};
+  spec.placement.kind = Placement::Random;
+  spec.placement.count = 4;
+  spec.protocol = ProtocolKind::Pipeline;
+  spec.pipelineParams.agreement.initialOnesFraction = 0.7;
+  spec.pipelineParams.agreement.walkLengthFactor = 0.5;
+  spec.pipelineParams.estimateSafetyFactor = 1.5;
+  spec.pipelineParams.countingLimits.maxPhase = 8;
+  spec.pipelineParams.countingLimits.maxTotalRounds = 20'000;
+  spec.trials = 4;
+  spec.masterSeed = 0x9a;  // overridden per test
+  return spec;
+}
+
+/// Every field of both EpochReports must agree — the pipeline may only change
+/// *when* a recount executes, never what it computes.
+void expectEpochReportsIdentical(const EpochReport& a, const EpochReport& b,
+                                 const std::string& where) {
+  EXPECT_EQ(a.epoch, b.epoch) << where;
+  EXPECT_EQ(a.liveN, b.liveN) << where;
+  EXPECT_EQ(a.byzCount, b.byzCount) << where;
+  EXPECT_EQ(a.joins, b.joins) << where;
+  EXPECT_EQ(a.leaves, b.leaves) << where;
+  EXPECT_EQ(a.rewires, b.rewires) << where;
+  EXPECT_EQ(a.recounted, b.recounted) << where;
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate) << where;
+  EXPECT_DOUBLE_EQ(a.staleness, b.staleness) << where;
+  EXPECT_DOUBLE_EQ(a.drift, b.drift) << where;
+  EXPECT_DOUBLE_EQ(a.spectralGap, b.spectralGap) << where;
+  EXPECT_EQ(a.rounds, b.rounds) << where;
+  EXPECT_EQ(a.messages, b.messages) << where;
+  EXPECT_EQ(a.bits, b.bits) << where;
+  EXPECT_DOUBLE_EQ(a.fracAgreeing, b.fracAgreeing) << where;
+  EXPECT_EQ(a.fingerprint, b.fingerprint) << where;
+}
+
+void expectTrialResultsIdentical(const ChurnTrialResult& a, const ChurnTrialResult& b,
+                                 const std::string& where) {
+  EXPECT_EQ(a.outcome.resultFingerprint, b.outcome.resultFingerprint) << where;
+  EXPECT_EQ(a.outcome.totalRounds, b.outcome.totalRounds) << where;
+  EXPECT_EQ(a.outcome.totalMessages, b.outcome.totalMessages) << where;
+  EXPECT_EQ(a.outcome.totalBits, b.outcome.totalBits) << where;
+  EXPECT_EQ(a.outcome.hitRoundCap, b.outcome.hitRoundCap) << where;
+  EXPECT_DOUBLE_EQ(a.outcome.quality.fracDecided, b.outcome.quality.fracDecided) << where;
+  EXPECT_DOUBLE_EQ(a.outcome.quality.fracWithinWindow, b.outcome.quality.fracWithinWindow)
+      << where;
+  EXPECT_DOUBLE_EQ(a.outcome.quality.meanRatio, b.outcome.quality.meanRatio) << where;
+  EXPECT_EQ(a.outcome.quality.maxDecisionRound, b.outcome.quality.maxDecisionRound) << where;
+  ASSERT_EQ(a.outcome.extra.size(), b.outcome.extra.size()) << where;
+  for (std::size_t i = 0; i < a.outcome.extra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcome.extra[i], b.outcome.extra[i]) << where << " extra " << i;
+  }
+  ASSERT_EQ(a.epochs.size(), b.epochs.size()) << where;
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    expectEpochReportsIdentical(a.epochs[e], b.epochs[e], where + " epoch " + std::to_string(e));
+  }
+}
+
+TEST(EpochPipeline, PipelinedMatchesSequentialAcrossModelsAndDepths) {
+  // The tentpole pin: depth {2, 4} against the depth-1 serial path, for each
+  // churn model, comparing the full detailed trajectory field by field.
+  struct Model {
+    const char* name;
+    ChurnSchedule schedule;
+  };
+  const Model models[] = {
+      {"steady", ChurnSchedule::steady(/*epochs=*/6, /*rate=*/0.08, /*recountEvery=*/1)},
+      {"flashCrowd", ChurnSchedule::flashCrowd(/*epochs=*/6, /*fraction=*/0.4, /*atEpoch=*/3,
+                                               /*recountEvery=*/2)},
+      {"massExodus", ChurnSchedule::massExodus(/*epochs=*/6, /*fraction=*/0.3, /*atEpoch=*/3,
+                                               /*recountEvery=*/2)},
+      {"byzantine", ChurnSchedule::byzantine(/*epochs=*/6, /*honestRate=*/0.06,
+                                             /*rejoinBoost=*/1.5, /*recountEvery=*/1)},
+  };
+  for (const Model& model : models) {
+    ScenarioSpec serialSpec = basePipelineSpec();
+    serialSpec.masterSeed = 0xd1f0;
+    serialSpec.churn = model.schedule;
+    serialSpec.churn.pipelineDepth = 1;
+    for (std::uint32_t trial = 0; trial < 3; ++trial) {
+      const ChurnTrialResult serial = runChurnTrialDetailed(serialSpec, trial);
+      for (std::uint32_t depth : {2u, 4u}) {
+        ScenarioSpec deepSpec = serialSpec;
+        deepSpec.churn.pipelineDepth = depth;
+        const ChurnTrialResult piped = runChurnTrialDetailed(deepSpec, trial);
+        expectTrialResultsIdentical(serial, piped,
+                                    std::string(model.name) + " depth " +
+                                        std::to_string(depth) + " trial " +
+                                        std::to_string(trial));
+      }
+    }
+  }
+}
+
+TEST(EpochPipeline, DepthBeyondEpochCountIsIdentity) {
+  // depth > epochs (and depth >> recount count under cadence) must clamp to
+  // the available work without deadlock or divergence.
+  ScenarioSpec spec = basePipelineSpec();
+  spec.masterSeed = 0xdee9;
+  spec.churn = ChurnSchedule::steady(/*epochs=*/3, /*rate=*/0.08, /*recountEvery=*/2);
+  for (std::uint32_t trial = 0; trial < 2; ++trial) {
+    ScenarioSpec serialSpec = spec;
+    serialSpec.churn.pipelineDepth = 1;
+    const ChurnTrialResult serial = runChurnTrialDetailed(serialSpec, trial);
+    ScenarioSpec deepSpec = spec;
+    deepSpec.churn.pipelineDepth = 8;  // deeper than the 3-epoch trajectory
+    const ChurnTrialResult piped = runChurnTrialDetailed(deepSpec, trial);
+    expectTrialResultsIdentical(serial, piped, "depth 8 over 3 epochs trial " +
+                                                   std::to_string(trial));
+  }
+}
+
+TEST(EpochPipeline, PipelinedChurnScenarioIsThreadCountInvariant) {
+  // The T10-shaped invariance row with pipelining ON: 48 trials, depth 2,
+  // bit-identical at 1, 2 and 8 runner threads. The runner narrows its trial
+  // pool by trials x shards x depth, so this also exercises oversubscription
+  // (8 threads / depth 2 -> 4 trial workers each owning a 2-thread pipeline).
+  ScenarioSpec spec = basePipelineSpec();
+  spec.name = "pipelined-churn-invariance";
+  spec.graph = {GraphKind::Hnd, 96, 8, 0.1};
+  spec.churn = ChurnSchedule::steady(/*epochs=*/4, /*rate=*/0.08, /*recountEvery=*/2);
+  spec.churn.pipelineDepth = 2;
+  spec.trials = 48;
+  spec.masterSeed = 0x10c4;  // same row churn_test pins at depth 1
+
+  ExperimentSummary byThreads[3];
+  const unsigned counts[3] = {1, 2, 8};
+  for (int t = 0; t < 3; ++t) {
+    ExperimentRunner runner(counts[t]);
+    byThreads[t] = runner.run(spec);
+  }
+  ASSERT_EQ(byThreads[0].perTrial.size(), 48u);
+  for (int t = 1; t < 3; ++t) {
+    EXPECT_EQ(byThreads[0].combinedFingerprint, byThreads[t].combinedFingerprint)
+        << "pipelined churn scenario diverged at " << counts[t] << " threads";
+    for (std::size_t i = 0; i < 48; ++i) {
+      EXPECT_EQ(byThreads[0].perTrial[i].resultFingerprint,
+                byThreads[t].perTrial[i].resultFingerprint)
+          << "trial " << i << " diverged at " << counts[t] << " threads";
+    }
+  }
+}
+
+TEST(EpochPipeline, ScenarioRunMatchesDepthOneAtEveryDepth) {
+  // End-to-end through ExperimentRunner: the aggregated summary (fingerprints,
+  // cost distributions, churn extras) is depth-invariant, so a sweep can bump
+  // pipelineDepth without invalidating any recorded numbers.
+  ScenarioSpec spec = basePipelineSpec();
+  spec.churn = ChurnSchedule::steady(/*epochs=*/4, /*rate=*/0.08, /*recountEvery=*/1);
+  spec.trials = 8;
+  spec.masterSeed = 0x51de;
+
+  ExperimentRunner runner(4);
+  spec.churn.pipelineDepth = 1;
+  const ExperimentSummary base = runner.run(spec);
+  for (std::uint32_t depth : {2u, 4u}) {
+    spec.churn.pipelineDepth = depth;
+    const ExperimentSummary deep = runner.run(spec);
+    EXPECT_EQ(base.combinedFingerprint, deep.combinedFingerprint) << "depth " << depth;
+    ASSERT_EQ(base.perTrial.size(), deep.perTrial.size());
+    for (std::size_t i = 0; i < base.perTrial.size(); ++i) {
+      EXPECT_EQ(base.perTrial[i].resultFingerprint, deep.perTrial[i].resultFingerprint)
+          << "depth " << depth << " trial " << i;
+    }
+    ASSERT_EQ(base.extras.size(), deep.extras.size());
+    for (std::size_t s = 0; s < base.extras.size(); ++s) {
+      EXPECT_DOUBLE_EQ(base.extras[s].mean, deep.extras[s].mean)
+          << "depth " << depth << " extra slot " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bzc

@@ -6,11 +6,14 @@
 // oversubscription, and (d) the sharded primitives themselves — engine hook
 // ordering, the shard-tagged path arenas, the lock-free Coalition.
 //
-// Scenario scope: invariance holds for recv-draw-free adversaries (the
-// default gallery strategies pinned here). Strategies that draw from their
-// RNG inside a shard-parallel recv hook (fractional droppers/flippers, beacon
-// tamperers/grafters) are deterministic *per* shard count — each shard owns a
-// forked stream — which BeaconFullProfileIsDeterministicPerShardCount pins.
+// Scenario scope: the ENTIRE strategy gallery is in the invariance class.
+// Strategies that draw inside a shard-parallel recv hook (fractional
+// droppers/flippers, walk tamperers, beacon tamperers/grafters/full) consume
+// per-receiver streams forked per (node, iteration) and drained in the node's
+// canonical inbox order, so their draw sequences are a pure function of the
+// trial — independent of the shard count (they used to be merely
+// deterministic per count, via per-shard forks; ROADMAP item closed by the
+// epoch-pipelining PR). The RecvDrawing* suites below pin exactly that.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -65,18 +68,26 @@ TEST(GoldenSharding, BeaconGoldensAreShardCountInvariant) {
   }
 }
 
-TEST(GoldenSharding, BeaconFullProfileIsDeterministicPerShardCount) {
-  // full() tampers inside the relay hook (a recv-phase RNG draw), so it is
-  // outside the invariance class: S == 1 must still be the pinned legacy
-  // value, and any fixed S > 1 must reproduce itself exactly.
+TEST(GoldenSharding, RecvDrawingBeaconProfilesAreShardCountInvariant) {
+  // These strategies draw inside the relay hook; per-receiver streams make
+  // them invariant, so the serial fingerprint now pins every shard count.
+  // full()'s S == 1 value is unchanged from the per-shard-stream era: its
+  // relay draws only mint forged IDs, and ID *values* don't steer decisions
+  // (fresh random IDs are never blacklisted either way) — so the legacy
+  // golden carries over rather than being re-captured.
   EXPECT_EQ(golden::beaconFingerprint(BeaconChoicePolicy::PreferAcceptable,
                                       BeaconAttackProfile::full(), 10, 1),
             0xe7cb8414934dcdefULL);
-  const std::uint64_t atFour = golden::beaconFingerprint(BeaconChoicePolicy::PreferAcceptable,
-                                                         BeaconAttackProfile::full(), 10, 4);
-  EXPECT_EQ(golden::beaconFingerprint(BeaconChoicePolicy::PreferAcceptable,
-                                      BeaconAttackProfile::full(), 10, 4),
-            atFour);
+  for (const BeaconAttackProfile& attack :
+       {BeaconAttackProfile::full(), BeaconAttackProfile::tamperer()}) {
+    const std::uint64_t serial =
+        golden::beaconFingerprint(BeaconChoicePolicy::PreferAcceptable, attack, 10, 1);
+    for (unsigned s : {2u, 4u, 8u}) {
+      EXPECT_EQ(golden::beaconFingerprint(BeaconChoicePolicy::PreferAcceptable, attack, 10, s),
+                serial)
+          << "recv-drawing beacon profile diverged at " << s << " shards";
+    }
+  }
 }
 
 TEST(GoldenSharding, PipelineGoldensAreShardCountInvariant) {
@@ -144,6 +155,49 @@ TEST(ShardedScenarios, PipelineFlooderScenarioIsShardCountInvariant) {
   spec.pipelineParams.countingLimits.maxTotalRounds = 20'000;
   spec.trials = 24;
   spec.masterSeed = 0x9a;
+  expectShardCountInvariant(spec);
+}
+
+TEST(ShardedScenarios, RecvDrawingWalkGalleryIsShardCountInvariant) {
+  // Fractional droppers/flippers and the tamperer draw per relayed token
+  // inside the recv hook; with per-receiver streams the whole walk gallery is
+  // invariant (not just the draw-free p = 1.0 corners adversary_test pins).
+  const AgreementAttackProfile gallery[] = {
+      AgreementAttackProfile::dropper(0.8),
+      AgreementAttackProfile::flipper(0.8),
+      AgreementAttackProfile::tamperer(0.8),
+  };
+  const char* names[] = {"dropper08", "flipper08", "tamperer08"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    ScenarioSpec spec;
+    spec.name = std::string("walk-gallery-sharded-") + names[i];
+    spec.graph = {GraphKind::Hnd, 128, 8, 0.1};
+    spec.placement.kind = Placement::Random;
+    spec.placement.count = 6;
+    spec.protocol = ProtocolKind::Agreement;
+    spec.agreementParams.initialOnesFraction = 0.7;
+    spec.agreementParams.attack = gallery[i];
+    spec.trials = 12;
+    spec.masterSeed = 0xd4a0 + i;
+    expectShardCountInvariant(spec);
+  }
+}
+
+TEST(ShardedScenarios, PrefixGrafterScenarioIsShardCountInvariant) {
+  // The grafter splices *observed* honest prefixes into forged beacons — the
+  // strongest value-dependence in the beacon gallery, so scenario-level
+  // invariance here exercises the per-receiver streams hardest.
+  ScenarioSpec spec;
+  spec.name = "prefix-grafter-sharded";
+  spec.graph = {GraphKind::Hnd, 128, 8, 0.1};
+  spec.placement.kind = Placement::Random;
+  spec.placement.count = 6;
+  spec.protocol = ProtocolKind::Beacon;
+  spec.beaconAdversary = BeaconAdversaryProfile::prefixGrafter(2);
+  spec.beaconLimits.maxPhase = 8;
+  spec.beaconLimits.maxTotalRounds = 20'000;
+  spec.trials = 12;
+  spec.masterSeed = 0x96af;
   expectShardCountInvariant(spec);
 }
 

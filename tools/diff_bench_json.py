@@ -89,6 +89,13 @@ def main() -> int:
         new_shards = row.get("shards", 1)
         if old_shards != new_shards:
             deltas.append(f"shards: {old_shards} → {new_shards} (config change)")
+        # Same for the churn epoch-pipeline depth (bench_t13): depth is a pure
+        # performance knob with pinned bit-identity, so a depth bump can move
+        # wall-clock but never the metrics — flag it as config, not regression.
+        old_depth = old.get("pipelineDepth", 1)
+        new_depth = row.get("pipelineDepth", 1)
+        if old_depth != new_depth:
+            deltas.append(f"pipelineDepth: {old_depth} → {new_depth} (config change)")
         for key, pretty in KEY_METRICS:
             a = old.get(key, {}).get("mean")
             b = row.get(key, {}).get("mean")
