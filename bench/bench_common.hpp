@@ -5,6 +5,7 @@
 // the workload construction and result summaries consistent across them.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -12,6 +13,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "churn/epoch_runner.hpp"
 #include "counting/common.hpp"
@@ -137,6 +140,15 @@ inline bool jsonOutputEnabled() {
   return env != nullptr && std::string(env) == "json";
 }
 
+/// Process peak RSS in KB (getrusage; Linux reports ru_maxrss in KB). A
+/// monotone high-water mark: later rows in one binary can only report equal
+/// or larger values, so per-row deltas are only meaningful across runs.
+inline std::int64_t peakRssKb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss);
+}
+
 inline void appendJsonDist(std::ostringstream& os, const char* key, const Distribution& d) {
   os << '"' << key << "\":{\"mean\":" << d.mean << ",\"min\":" << d.min << ",\"max\":" << d.max
      << ",\"p10\":" << d.p10 << ",\"p50\":" << d.p50 << ",\"p90\":" << d.p90 << '}';
@@ -149,12 +161,18 @@ inline void appendJsonDist(std::ostringstream& os, const char* key, const Distri
 /// labels to report and to orient lower-is-better metrics like staleness).
 inline void maybeEmitJson(const ExperimentSummary& s,
                           const std::vector<std::string>& extraNames = {},
-                          unsigned shards = 0, unsigned pipelineDepth = 0) {
+                          unsigned shards = 0, unsigned pipelineDepth = 0,
+                          double wallMs = -1.0) {
   if (!jsonOutputEnabled()) return;
   std::ostringstream os;
   os.precision(12);
   os << "{\"name\":\"" << s.name << "\",\"trials\":" << s.trials
      << ",\"cappedTrials\":" << s.cappedTrials;
+  // Machine-load telemetry: wall_ms is the runner.run wall time for this row
+  // (lower is better; tools/diff_bench_json.py applies a noise floor before
+  // flagging), peak_rss_kb the process high-water mark at emission.
+  if (wallMs >= 0.0) os << ",\"wall_ms\":" << wallMs;
+  os << ",\"peak_rss_kb\":" << peakRssKb();
   // Emitted only for sharded/pipelined rows so legacy trajectories stay
   // byte-stable; tools/diff_bench_json.py reports shard-count and
   // pipeline-depth changes alongside the metric deltas (a 1 -> 4 shard or
@@ -203,10 +221,13 @@ inline void maybeEmitJson(const ExperimentSummary& s,
 /// byte-stable.
 inline ExperimentSummary runScenario(ExperimentRunner& runner, const ScenarioSpec& spec,
                                      const std::vector<std::string>& extraNames = {}) {
+  const auto t0 = std::chrono::steady_clock::now();
   ExperimentSummary s = runner.run(spec);
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
   const unsigned depth =
       spec.churn.enabled() && spec.churn.pipelineDepth > 1 ? spec.churn.pipelineDepth : 0;
-  maybeEmitJson(s, extraNames, spec.shards, depth);
+  maybeEmitJson(s, extraNames, spec.shards, depth, wallMs);
   return s;
 }
 
@@ -224,8 +245,11 @@ inline std::vector<std::string> churnExtraNames() {
 inline ExperimentSummary runScenario(ExperimentRunner& runner, const std::string& name,
                                      std::uint32_t trials, const ExperimentRunner::TrialFn& fn,
                                      const std::vector<std::string>& extraNames = {}) {
+  const auto t0 = std::chrono::steady_clock::now();
   ExperimentSummary s = runner.runCustom(name, trials, fn);
-  maybeEmitJson(s, extraNames);
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  maybeEmitJson(s, extraNames, 0, 0, wallMs);
   return s;
 }
 

@@ -12,6 +12,8 @@
 #include "counting/local/view.hpp"
 #include "graph/expansion.hpp"
 #include "graph/generators.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/rng.hpp"
 
@@ -71,6 +73,39 @@ void BM_BeaconBenignRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_BeaconBenignRun)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// The same run with a trace buffer installed — the traced-vs-untraced pair
+// (BM_BeaconBenignRun above is the baseline) bounds the full probe cost:
+// engine round records, protocol spans/counters, clock reads.
+void BM_BeaconTracedRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng gen(5);
+  const Graph g = hnd(n, 8, gen);
+  const ByzantineSet none(n, {});
+  obs::TrialTrace trace;
+  for (auto _ : state) {
+    trace.events.clear();
+    const obs::TraceScope scope(&trace);
+    Rng rng(6);
+    benchmark::DoNotOptimize(
+        runBeaconCounting(g, none, BeaconAttackProfile::none(), {}, {}, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BeaconTracedRun)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// Null-sink probe cost in isolation: a disabled ScopedTimer plus a disabled
+// counter probe per loop step — the per-probe price every protocol pays when
+// tracing is off (a thread-local load and a branch; the clock is never read).
+void BM_NullSinkProbe(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const obs::ScopedTimer timer("bench.nullProbe");
+    obs::emitCounter("bench.nullCounter", static_cast<double>(i));
+    benchmark::DoNotOptimize(++i);
+  }
+}
+BENCHMARK(BM_NullSinkProbe);
 
 void BM_ViewIntegrate(benchmark::State& state) {
   const NodeId n = 1024;

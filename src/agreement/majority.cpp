@@ -193,6 +193,11 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     }
   };
 
+  // Trace probes (DESIGN.md §12): all emission happens at the serial
+  // iteration boundaries below, reading committed state only — traced and
+  // untraced runs are bit-identical.
+  obs::TrialTrace* const trace = obs::currentTrace();
+
   for (std::uint32_t it = 0; it < maxIters; ++it) {
     std::uint32_t maxLen = 0;
     bool any = false;
@@ -202,6 +207,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
       maxLen = std::max(maxLen, walkLen[u]);
     }
     if (!any) break;
+    const std::int64_t iterT0 = trace != nullptr ? obs::traceClockNs() : 0;
 
     std::fill(tally.begin(), tally.end(), 0);
     std::fill(answersSeen.begin(), answersSeen.end(), 0);
@@ -241,6 +247,11 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     // Majority of {own bit, sample1, sample2}; unanswered slots (isolated
     // nodes, dropped queries, misrouted answers) fall back to the node's own
     // bit — an honest node cannot tell a lost sample from one never sent.
+    std::uint64_t launched = 0;
+    if (trace != nullptr) {
+      for (NodeId u = 0; u < n; ++u) launched += answersExpected[u];
+    }
+
     for (NodeId u = 0; u < n; ++u) {
       if (byz.contains(u) || it >= iters[u]) continue;
       BZC_ASSERT(answersSeen[u] <= answersExpected[u]);
@@ -250,6 +261,30 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
       curOnes += next;
       curOnes -= value[u];
       value[u] = next;
+    }
+
+    if (trace != nullptr) {
+      trace->span("agreement.iteration", iterT0, engine.round());
+      trace->counter("agreement.tokensLaunched", static_cast<double>(launched), engine.round());
+      trace->counter("agreement.ones", static_cast<double>(curOnes), engine.round());
+      // Running totals: the serial slot plus the not-yet-reduced shard lanes
+      // (sums are shard-order invariant).
+      SampleCounters samples;
+      for (const SampleCounters& c : counterLane) {
+        samples.answered += c.answered;
+        samples.compromised += c.compromised;
+      }
+      trace->counter("agreement.answered", static_cast<double>(samples.answered),
+                     engine.round());
+      trace->counter("agreement.compromised", static_cast<double>(samples.compromised),
+                     engine.round());
+      AdversaryStats adv = out.adversary;
+      for (const AdversaryStats& st : statsLane) adv.accumulate(st);
+      trace->counter("agreement.adversary.forged", static_cast<double>(adv.forgedAnswers),
+                     engine.round());
+      trace->counter("agreement.adversary.dropped",
+                     static_cast<double>(adv.droppedQueries + adv.droppedAnswers),
+                     engine.round());
     }
   }
 

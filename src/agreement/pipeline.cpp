@@ -1,6 +1,7 @@
 #include "agreement/pipeline.hpp"
 
 #include "adversary/beacon/strategies.hpp"
+#include "obs/trace.hpp"
 
 namespace bzc {
 
@@ -12,8 +13,11 @@ PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz
   // walk-stage bit lock land on the same Coalition (DESIGN.md §9).
   Coalition coalition;
   Rng countRng = rng.fork(0xc0);
-  out.counting = runBeaconCounting(g, byz, adversaries.beacon, params.counting,
-                                   params.countingLimits, countRng, &coalition);
+  {
+    const obs::ScopedTimer stage("pipeline.counting");
+    out.counting = runBeaconCounting(g, byz, adversaries.beacon, params.counting,
+                                     params.countingLimits, countRng, &coalition);
+  }
 
   std::vector<double> estimates(g.numNodes(), params.fallbackEstimate);
   for (NodeId u = 0; u < g.numNodes(); ++u) {
@@ -23,8 +27,11 @@ PipelineOutcome runCountingThenAgreement(const Graph& g, const ByzantineSet& byz
   }
 
   Rng agreeRng = rng.fork(0xa9);
-  out.agreement = runMajorityAgreement(g, byz, estimates, params.agreement, agreeRng,
-                                       adversaries.walk, &coalition);
+  {
+    const obs::ScopedTimer stage("pipeline.agreement");
+    out.agreement = runMajorityAgreement(g, byz, estimates, params.agreement, agreeRng,
+                                         adversaries.walk, &coalition);
+  }
   out.totalRounds = out.counting.result.totalRounds + out.agreement.totalRounds;
   out.totalMessages =
       out.counting.result.meter.totalMessages() + out.agreement.meter.totalMessages();

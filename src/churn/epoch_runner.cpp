@@ -11,6 +11,7 @@
 #include "churn/churn_model.hpp"
 #include "churn/dynamic_overlay.hpp"
 #include "graph/expansion.hpp"
+#include "obs/trace.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/require.hpp"
@@ -75,6 +76,11 @@ struct EpochStage {
   bool recount = false;
   TrialOutcome out;                ///< recount result (inline, or retired from fut)
   std::future<TrialOutcome> fut;   ///< valid while the recount is in flight
+  /// Child probe buffer for traced trials (DESIGN.md §12): the recount traces
+  /// into it on whichever thread runs (inline or a pool worker — same buffer
+  /// either way, so the deterministic projection is depth-invariant) and the
+  /// serial finalization fold splices it back in epoch order.
+  std::unique_ptr<obs::TrialTrace> trace;
 };
 
 constexpr std::size_t kNoStage = static_cast<std::size_t>(-1);
@@ -175,17 +181,24 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
     if (stages[s].fut.valid()) stages[s].out = stages[s].fut.get();
   };
 
+  // Trace probe target (DESIGN.md §12). The overlay stage below runs on this
+  // thread, so its spans/counters emit straight into the trial buffer;
+  // recounts get child buffers (EpochStage::trace) spliced at the fold.
+  obs::TrialTrace* const trace = obs::currentTrace();
+
   for (std::uint32_t epoch = 1; epoch <= spec.churn.epochs; ++epoch) {
     EpochStage& stage = stages[epoch - 1];
     EpochReport& report = stage.report;
     report.epoch = epoch;
 
     if (epoch > 1 && model) {
+      const std::int64_t repairT0 = trace != nullptr ? obs::traceClockNs() : 0;
       Rng eventRng = eventBase.fork(epoch);
       Rng repairRng = repairBase.fork(epoch);
       const ChurnEvents events = model->epochEvents(overlay, epoch, eventRng);
       const std::size_t before = overlay.liveCount();
       applyChurnEvents(overlay, events, repairRng);
+      if (trace != nullptr) trace->span("overlay.repair", repairT0, epoch);
       report.joins = events.honestJoins + events.byzJoins;
       report.leaves = static_cast<std::uint32_t>(
           before + report.joins - overlay.liveCount());  // leaves the floor let through
@@ -204,6 +217,7 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
     if (slot.stage != kNoStage) retire(slot.stage);
     slot.stage = kNoStage;
     OverlaySnapshot& snap = slot.snap;
+    const std::int64_t snapT0 = trace != nullptr ? obs::traceClockNs() : 0;
     if (epoch == 1) {
       snap.graph = std::move(initial.graph);
       snap.byz = std::move(initial.byz);
@@ -215,6 +229,11 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
     stage.trueLogN = std::log(static_cast<double>(liveN));
     report.liveN = liveN;
     report.byzCount = snap.byz.count();
+    if (trace != nullptr) {
+      trace->span("overlay.snapshot", snapT0, epoch);
+      trace->counter("churn.liveN", static_cast<double>(liveN), epoch);
+      trace->counter("churn.byzCount", static_cast<double>(report.byzCount), epoch);
+    }
 
     Rng gapRng = gapBase.fork(epoch);
     // Epoch 1 reuses the trial's original graph, whose dense ids are their
@@ -235,7 +254,9 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
     // membership turnover zeroed the carry).
     const bool warm = fiedlerWarmStartUsable(probeState, liveN);
     const unsigned probeDepth = warm ? kGapIterationsWarm : kGapIterations;
+    const std::int64_t gapT0 = trace != nullptr ? obs::traceClockNs() : 0;
     report.spectralGap = spectralGapEstimate(snap.graph, probeDepth, gapRng, &probeState);
+    if (trace != nullptr) trace->span("epoch.gapProbe", gapT0, epoch);
     gapProbeIters += probeDepth;
     gapState = std::move(probeState);
     gapStateIds = std::move(curIds);
@@ -254,6 +275,12 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
       epochSpec.treeParams.root =
           std::min<NodeId>(spec.treeParams.root, liveN > 0 ? liveN - 1 : 0);
       Rng protoRng = epoch == 1 ? std::move(initial.runRng) : recountBase.fork(epoch);
+      if (trace != nullptr) {
+        stage.trace = std::make_unique<obs::TrialTrace>();
+        stage.trace->scenario = trace->scenario;
+        stage.trace->trial = trace->trial;
+      }
+      obs::TrialTrace* const childTrace = stage.trace.get();
       if (recountPool) {
         while (inflight.size() >= depth) {  // cap in-flight recounts at depth
           retire(inflight.front());
@@ -261,12 +288,18 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
         }
         const OverlaySnapshot* snapPtr = &snap;
         stage.fut = recountPool->submit(
-            [es = std::move(epochSpec), snapPtr, rng = std::move(protoRng)]() mutable {
+            [es = std::move(epochSpec), snapPtr, rng = std::move(protoRng), childTrace]() mutable {
+              const obs::TraceScope scope(childTrace);
+              const obs::ScopedTimer timer("epoch.recount");
               return runProtocolTrial(es, snapPtr->graph, snapPtr->byz, std::move(rng));
             });
         slot.stage = epoch - 1;
         inflight.push_back(epoch - 1);
       } else {
+        // Inline (depth 1): the child scope shadows the trial buffer so the
+        // recount's events land in the same place they would from a worker.
+        const obs::TraceScope scope(childTrace);
+        const obs::ScopedTimer timer("epoch.recount");
         stage.out = runProtocolTrial(epochSpec, snap.graph, snap.byz, std::move(protoRng));
       }
     }
@@ -281,6 +314,7 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
   // every pipeline depth.
   ChurnTrialResult result;
   result.epochs.reserve(spec.churn.epochs);
+  const std::int64_t foldT0 = trace != nullptr ? obs::traceClockNs() : 0;
   TrialOutcome& total = result.outcome;
   bool haveFingerprint = false;
   double estimate = 0.0;       // ln-scale estimate the network currently runs on
@@ -328,8 +362,18 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
     stalenessMax = std::max(stalenessMax, report.staleness);
     driftSum += report.drift;
     driftMax = std::max(driftMax, report.drift);
+    if (trace != nullptr) {
+      // Children splice back here, in epoch order, tagged with their epoch as
+      // the lane — a serial point, so the merged event order is a pure
+      // function of the trial at any pipeline depth. Timestamps are preserved:
+      // overlapped recounts still overlap on the chrome timeline.
+      if (stage.trace != nullptr) trace->splice(std::move(*stage.trace), report.epoch);
+      trace->counter("epoch.estimate", report.estimate, report.epoch);
+      trace->counter("epoch.staleness", report.staleness, report.epoch);
+    }
     result.epochs.push_back(report);
   }
+  if (trace != nullptr) trace->span("epoch.finalize", foldT0, spec.churn.epochs);
 
   const double epochsRun = static_cast<double>(spec.churn.epochs);
   total.extra.assign(kChurnExtraSlots, 0.0);

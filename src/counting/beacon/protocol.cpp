@@ -102,6 +102,15 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
   // collude (DESIGN.md §9).
   Coalition localCoalition;
   Coalition& board = coalition != nullptr ? *coalition : localCoalition;
+
+  // Trace probe target (DESIGN.md §12), captured once for the run; null means
+  // tracing is off and every probe below is a dead branch. All emission
+  // happens at serial points between windows, reading committed state only —
+  // never an RNG stream — so traced and untraced runs are bit-identical.
+  // (The BeaconObservables local below shadows the obs namespace; probes go
+  // through this pointer.)
+  bzc::obs::TrialTrace* const trace = bzc::obs::currentTrace();
+
   BeaconObservables obs;
 
   // Adversary state for the shard-parallel windows (DESIGN.md §10-§11).
@@ -270,14 +279,17 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         // Lines 17-19: keep flooding while the window allows another hop.
         if (r < beaconWindow) lane.broadcast(v, forwarded, beaconBits(forwarded.len));
       };
+      const std::int64_t beaconT0 = trace != nullptr ? bzc::obs::traceClockNs() : 0;
       const WindowResult beaconRun = engine.runWindow(beaconWindow, beaconStep);
       engine.skipRounds(beaconWindow - beaconRun.roundsRun);
+      if (trace != nullptr) trace->span("beacon.beaconWindow", beaconT0, engine.round());
 
       // --- Lines 28-32: decisions and blacklist maintenance. Shard-parallel:
       // --- every write is to node-indexed state a shard owns; the two global
       // --- counters reduce over per-shard deltas (sums are order-invariant).
       std::vector<std::size_t> decidedDelta(S, 0);
       std::vector<std::uint64_t> insertDelta(S, 0);
+      const std::int64_t decideT0 = trace != nullptr ? bzc::obs::traceClockNs() : 0;
       engine.forEachShard([&](std::size_t s, NodeId lo, NodeId hi) {
         for (NodeId u = lo; u < hi; ++u) {
           if (byz.contains(u) || !st.participating[u] || st.decided[u]) continue;
@@ -303,6 +315,15 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       for (unsigned s = 0; s < S; ++s) {
         undecidedHonest -= decidedDelta[s];
         out.stats.blacklistInsertions += insertDelta[s];
+      }
+      if (trace != nullptr) {
+        trace->span("beacon.decisions", decideT0, engine.round());
+        trace->counter("beacon.undecidedHonest", static_cast<double>(undecidedHonest),
+                       engine.round());
+        trace->counter("beacon.blacklistInsertions",
+                       static_cast<double>(out.stats.blacklistInsertions), engine.round());
+        trace->counter("beacon.beaconsGenerated",
+                       static_cast<double>(out.stats.beaconsGenerated), engine.round());
       }
       if (undecidedHonest == 0 && out.stats.roundsUntilAllDecided == 0) {
         out.stats.roundsUntilAllDecided = static_cast<Round>(engine.round());
@@ -333,8 +354,21 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         }
         if (relays && r < continueWindow) lane.broadcast(v, BeaconFrame{}, kContinueBits);
       };
+      const std::int64_t contT0 = trace != nullptr ? bzc::obs::traceClockNs() : 0;
       const WindowResult continueRun = engine.runWindow(continueWindow, continueStep);
       engine.skipRounds(continueWindow - continueRun.roundsRun);
+      if (trace != nullptr) {
+        trace->span("beacon.continueWindow", contT0, engine.round());
+        // Adversary dispositions as running totals (serial stats + the not-
+        // yet-reduced per-shard lanes; sums are shard-order invariant).
+        BeaconAdversaryStats adv = out.stats.adversary;
+        for (const BeaconAdversaryStats& laneStats : advLane) adv.accumulate(laneStats);
+        trace->counter("beacon.adversary.forged", static_cast<double>(adv.beaconsForged),
+                       engine.round());
+        trace->counter("beacon.adversary.suppressed",
+                       static_cast<double>(adv.relaysSuppressed + adv.continuesSuppressed),
+                       engine.round());
+      }
 
       // Lines 38-44: exit or (re-)enter for the next iteration.
       bool anyHonestParticipant = false;

@@ -180,6 +180,20 @@ LocalOutcome runLocalCounting(const Graph& g, const ByzantineSet& byz, LocalAdve
           break;
       }
     }
+
+    // Trace probes (DESIGN.md §12): the end hook is a serial point, so the
+    // per-round undecided count and decide-reason running totals land on the
+    // same timeline as the engine's round records.
+    if (obs::TrialTrace* trace = obs::currentTrace()) {
+      trace->counter("local.undecidedHonest", static_cast<double>(undecidedHonest), round);
+      trace->counter("local.decided.inconsistency",
+                     static_cast<double>(out.stats.inconsistencyDecisions), round);
+      trace->counter("local.decided.mute", static_cast<double>(out.stats.muteDecisions), round);
+      trace->counter("local.decided.ballGrowth",
+                     static_cast<double>(out.stats.ballGrowthDecisions), round);
+      trace->counter("local.decided.sparseCut",
+                     static_cast<double>(out.stats.sparseCutDecisions), round);
+    }
     return undecidedHonest > 0;
   };
 

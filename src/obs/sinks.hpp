@@ -1,0 +1,95 @@
+// Trace exporters: JSONL event stream, chrome://tracing timeline, an
+// in-memory capture for tests, and a tee. See DESIGN.md §12 for the schema.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace bzc::obs {
+
+/// One JSON object per line. Per trial: a `trial` header line, every event
+/// in buffer order, then an `end` line carrying the event count (the
+/// validator cross-checks it). tools/trace_summary.py validates, summarizes
+/// and diffs this format.
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Truncates `path` and writes to it.
+  explicit JsonlTraceSink(const std::string& path);
+  /// Writes to a caller-owned stream (tests).
+  explicit JsonlTraceSink(std::ostream& os);
+  ~JsonlTraceSink() override;
+
+  void consume(const TrialTrace& trace) override;
+
+  static void writeTrace(std::ostream& os, const TrialTrace& trace);
+
+ private:
+  std::mutex mutex_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+};
+
+/// Chrome trace_event format (the JSON-array form chrome://tracing and
+/// Perfetto load directly). Spans become complete ("X") events, counters
+/// counter ("C") events, rounds a pair of counter tracks (engine.messages /
+/// engine.bits) plus marks as instants ("i"). pid = consumption sequence
+/// number (one process per consumed trial, labelled scenario#trial), tid =
+/// event lane (0 = trial thread, epoch number for pipelined recounts) — the
+/// lanes are what make epoch-pipeline overlap visible. Events accumulate and
+/// the file is written on destruction (program exit for the env-installed
+/// sink).
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+
+  void consume(const TrialTrace& trace) override;
+
+ private:
+  std::mutex mutex_;
+  std::string path_;
+  std::vector<std::string> lines_;  ///< pre-rendered event objects
+  std::uint32_t nextPid_ = 0;
+};
+
+/// Test sink: stores deep copies of every consumed buffer.
+class CapturingTraceSink : public TraceSink {
+ public:
+  void consume(const TrialTrace& trace) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    traces_.push_back(trace);
+  }
+  [[nodiscard]] const std::vector<TrialTrace>& traces() const noexcept { return traces_; }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    traces_.clear();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<TrialTrace> traces_;
+};
+
+/// Fans consume() out to both children (BZC_TRACE and BZC_TRACE_CHROME set
+/// together).
+class TeeTraceSink : public TraceSink {
+ public:
+  TeeTraceSink(std::shared_ptr<TraceSink> a, std::shared_ptr<TraceSink> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  void consume(const TrialTrace& trace) override {
+    if (a_) a_->consume(trace);
+    if (b_) b_->consume(trace);
+  }
+
+ private:
+  std::shared_ptr<TraceSink> a_;
+  std::shared_ptr<TraceSink> b_;
+};
+
+}  // namespace bzc::obs

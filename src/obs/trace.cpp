@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/sinks.hpp"
+#include "support/log.hpp"
+
+namespace bzc::obs {
+
+namespace {
+
+/// Process-wide epoch: every trace timestamp is relative to the first clock
+/// read, so buffers from concurrent trials share one timeline.
+std::chrono::steady_clock::time_point traceEpoch() noexcept {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+thread_local TrialTrace* t_currentTrace = nullptr;
+
+std::mutex g_sinkMutex;
+std::shared_ptr<TraceSink> g_sink;            // guarded by g_sinkMutex
+std::uint32_t g_sampleTrials = 1;             // guarded by g_sinkMutex
+
+/// Log bridge: mirrors Warn+ log lines into the active trace as Mark events
+/// (value = numeric level), keeping console output unchanged — the single
+/// sink support/log.hpp routes through once tracing is configured.
+void traceLogSink(LogLevel level, const std::string& message) {
+  defaultLogSink(level, message);
+  if (static_cast<int>(level) < static_cast<int>(LogLevel::Warn)) return;
+  if (TrialTrace* t = currentTrace()) {
+    t->mark("log.warn", static_cast<double>(static_cast<int>(level)));
+  }
+}
+
+}  // namespace
+
+const char* eventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::Round: return "round";
+    case EventKind::Span: return "span";
+    case EventKind::Counter: return "counter";
+    case EventKind::Mark: return "mark";
+  }
+  return "?";
+}
+
+std::int64_t traceClockNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                              traceEpoch())
+      .count();
+}
+
+TrialTrace* currentTrace() noexcept { return t_currentTrace; }
+
+TraceScope::TraceScope(TrialTrace* trace) noexcept : prev_(t_currentTrace) {
+  t_currentTrace = trace;
+}
+
+TraceScope::~TraceScope() { t_currentTrace = prev_; }
+
+void setTraceSink(std::shared_ptr<TraceSink> sink, std::uint32_t sampleTrials) {
+  const std::lock_guard<std::mutex> lock(g_sinkMutex);
+  g_sink = std::move(sink);
+  g_sampleTrials = sampleTrials == 0 ? 1 : sampleTrials;
+  setLogSink(g_sink != nullptr ? traceLogSink : defaultLogSink);
+}
+
+std::shared_ptr<TraceSink> traceSink() {
+  const std::lock_guard<std::mutex> lock(g_sinkMutex);
+  return g_sink;
+}
+
+std::uint32_t traceSampleTrials() noexcept {
+  const std::lock_guard<std::mutex> lock(g_sinkMutex);
+  return g_sampleTrials;
+}
+
+void ensureEnvTraceConfig() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    {
+      const std::lock_guard<std::mutex> lock(g_sinkMutex);
+      if (g_sink != nullptr) return;  // programmatic install wins
+    }
+    const char* jsonl = std::getenv("BZC_TRACE");
+    const char* chrome = std::getenv("BZC_TRACE_CHROME");
+    // Empty string = unset (CI loops export "" for untraced iterations).
+    if (jsonl != nullptr && *jsonl == '\0') jsonl = nullptr;
+    if (chrome != nullptr && *chrome == '\0') chrome = nullptr;
+    if (jsonl == nullptr && chrome == nullptr) return;
+    std::shared_ptr<TraceSink> sink;
+    if (jsonl != nullptr) sink = std::make_shared<JsonlTraceSink>(std::string(jsonl));
+    if (chrome != nullptr) {
+      auto c = std::make_shared<ChromeTraceSink>(std::string(chrome));
+      sink = sink ? std::static_pointer_cast<TraceSink>(
+                        std::make_shared<TeeTraceSink>(std::move(sink), std::move(c)))
+                  : std::static_pointer_cast<TraceSink>(std::move(c));
+    }
+    std::uint32_t sample = 1;
+    if (const char* env = std::getenv("BZC_TRACE_TRIALS")) {
+      const int v = std::atoi(env);
+      if (v > 0) sample = static_cast<std::uint32_t>(v);
+    }
+    setTraceSink(std::move(sink), sample);
+  });
+}
+
+}  // namespace bzc::obs

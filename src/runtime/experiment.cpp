@@ -8,6 +8,7 @@
 #include "churn/epoch_runner.hpp"
 #include "counting/beacon/protocol.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/require.hpp"
@@ -317,9 +318,9 @@ ExperimentSummary ExperimentRunner::run(const ScenarioSpec& spec) {
   const unsigned perTrial = std::max(1u, spec.shards) * pipeline;
   if (perTrial > 1) {
     ThreadPool narrowed(std::max(1u, threadCount() / perTrial));
-    return runWith(narrowed, spec.name, spec.trials, fn);
+    return runWith(narrowed, spec.name, spec.trials, fn, spec.traceTrials);
   }
-  return runWith(*pool_, spec.name, spec.trials, fn);
+  return runWith(*pool_, spec.name, spec.trials, fn, spec.traceTrials);
 }
 
 ExperimentSummary ExperimentRunner::runCustom(const std::string& name, std::uint32_t trials,
@@ -328,17 +329,42 @@ ExperimentSummary ExperimentRunner::runCustom(const std::string& name, std::uint
 }
 
 ExperimentSummary ExperimentRunner::runWith(ThreadPool& pool, const std::string& name,
-                                            std::uint32_t trials, const TrialFn& fn) {
+                                            std::uint32_t trials, const TrialFn& fn,
+                                            std::uint32_t traceTrials) {
   BZC_REQUIRE(trials > 0, "need at least one trial");
+  // Trace sampling (DESIGN.md §12): the first `width` trials get a private
+  // event buffer installed scoped around their execution. Probes never feed
+  // back into protocol state, so outcomes are unchanged; buffers drain to the
+  // sink serially in trial index order below, which makes the exported stream
+  // deterministic even though trials run on arbitrary workers.
+  obs::ensureEnvTraceConfig();
+  const std::shared_ptr<obs::TraceSink> sink = obs::traceSink();
+  const std::uint32_t width =
+      sink != nullptr
+          ? std::min(trials, traceTrials > 0 ? traceTrials : obs::traceSampleTrials())
+          : 0;
+  std::vector<std::unique_ptr<obs::TrialTrace>> traces(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    traces[i] = std::make_unique<obs::TrialTrace>();
+    traces[i]->scenario = name;
+    traces[i]->trial = i;
+  }
   std::vector<TrialOutcome> outcomes(trials);
   // Chunked dispatch: one std::function call per worker instead of one per
   // trial. Which worker runs a trial never matters (pure function of the
   // index), so the static partition is invisible in the results.
   pool.parallelForChunked(trials, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
-      outcomes[i] = fn(static_cast<std::uint32_t>(i));
+      if (i < width) {
+        const obs::TraceScope scope(traces[i].get());
+        const obs::ScopedTimer timer("trial");
+        outcomes[i] = fn(static_cast<std::uint32_t>(i));
+      } else {
+        outcomes[i] = fn(static_cast<std::uint32_t>(i));
+      }
     }
   });
+  for (std::uint32_t i = 0; i < width; ++i) sink->consume(*traces[i]);
 
   // Aggregation walks trials in index order, so the summary (and especially
   // combinedFingerprint) is independent of which worker ran which trial.

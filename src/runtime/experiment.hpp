@@ -156,6 +156,12 @@ struct ScenarioSpec {
   /// trials × shards × pipelineDepth stays within the core budget
   /// (DESIGN.md §11).
   std::uint32_t shards = 0;
+
+  /// How many leading trials to trace when a TraceSink is installed
+  /// (DESIGN.md §12). 0 inherits the process-wide width (BZC_TRACE_TRIALS,
+  /// default 1); tracing stays off entirely while no sink is installed.
+  /// Traces are observational: results are bit-identical either way.
+  std::uint32_t traceTrials = 0;
 };
 
 // --- per-trial and aggregate results ----------------------------------------
@@ -248,8 +254,10 @@ class ExperimentRunner {
 
  private:
   /// Shared fan-out core: aggregation is identical whichever pool runs it.
+  /// traceTrials > 0 overrides the process-wide trace sample width.
   static ExperimentSummary runWith(ThreadPool& pool, const std::string& name,
-                                   std::uint32_t trials, const TrialFn& fn);
+                                   std::uint32_t trials, const TrialFn& fn,
+                                   std::uint32_t traceTrials = 0);
 
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/metrics.hpp"
@@ -195,8 +196,15 @@ class SyncEngine {
   }
 
   /// Advances the round counter without simulating traffic (used to charge a
-  /// protocol-defined window in full when flooding quiesced early).
-  void skipRounds(std::uint64_t k) noexcept { round_ += k; }
+  /// protocol-defined window in full when flooding quiesced early). Traced as
+  /// a Mark so round accounting still reconciles: simulated rounds + skipped
+  /// rounds == the engine counter (tests/obs_test.cpp pins this).
+  void skipRounds(std::uint64_t k) {
+    round_ += k;
+    if (obs::TrialTrace* t = obs::currentTrace()) {
+      t->mark("engine.skipRounds", static_cast<double>(k), round_);
+    }
+  }
 
   // --- sending (valid from emit/recv/end hooks, or before a window to seed
   // --- its first round) -----------------------------------------------------
@@ -236,44 +244,98 @@ class SyncEngine {
   WindowResult runWindow(std::uint32_t rounds, EmitFn&& emit, RecvFn&& recv, EndFn&& end,
                          IdlePolicy idle = IdlePolicy::StopWhenIdle) {
     WindowResult res;
+    // Probe target captured once per window; tracing toggles between windows,
+    // never inside one. Null keeps every probe below a dead branch — the
+    // round loop reads no clock and builds no record (the "null sink" path).
+    obs::TrialTrace* const tr = obs::currentTrace();
+    trace_ = tr;
     for (std::uint32_t w = 1; rounds == 0 || w <= rounds; ++w) {
       if (round_ >= maxTotalRounds_) {
         res.status = WindowStatus::Capped;
+        trace_ = nullptr;
         return res;
       }
       ++round_;
       ++res.roundsRun;
+      obs::RoundRecord rd;
+      std::uint64_t msgs0 = 0;
+      std::uint64_t bits0 = 0;
+      if (tr != nullptr) {
+        msgs0 = meter_.totalMessages();
+        bits0 = meter_.totalBits();
+        traceRecvNs_ = traceMergeNs_ = traceScatterNs_ = 0;
+      }
       emit(static_cast<Round>(w));
       bool anyTraffic;
       if (shards_ > 1) {
+        if (tr != nullptr) {
+          rd.sends = static_cast<std::uint32_t>(flushOrder_.size() + sendQueue_.size());
+        }
         anyTraffic = shardedFlush();
       } else {
         flushing_.clear();
         flushing_.swap(sendQueue_);  // sends queued from hooks target the next round
-        flush();
+        if (tr != nullptr) {
+          rd.sends = static_cast<std::uint32_t>(flushing_.size());
+          const std::int64_t t0 = obs::traceClockNs();
+          flush();
+          traceScatterNs_ = obs::traceClockNs() - t0;  // serial: whole flush
+        } else {
+          flush();
+        }
         anyTraffic = !flushing_.empty();
+      }
+      if (tr != nullptr) {
+        rd.round = round_;
+        rd.shards = static_cast<std::uint8_t>(shards_);
+        rd.touched = static_cast<std::uint32_t>(touched_.size());
+        rd.messages = meter_.totalMessages() - msgs0;
+        rd.bits = meter_.totalBits() - bits0;
       }
       if (!anyTraffic && idle == IdlePolicy::StopWhenIdle) {
         res.status = WindowStatus::Quiesced;
+        if (tr != nullptr) {
+          rd.idle = 1;
+          rd.recvNs = traceRecvNs_;
+          rd.mergeNs = traceMergeNs_;
+          rd.scatterNs = traceScatterNs_;
+          tr->round(rd);
+        }
+        trace_ = nullptr;
         return res;
       }
       if constexpr (kShardedRecv<RecvFn>) {
         if (shards_ > 1) {
           runShardedRecv(static_cast<Round>(w), recv);
+          if (tr != nullptr) {
+            for (unsigned s = 0; s < shards_ && s < obs::kTraceMaxShards; ++s) {
+              rd.laneSends[s] = static_cast<std::uint32_t>(lanes_[s].sends.size());
+            }
+          }
         } else {
           ShardLane lane(&sendQueue_, 0);  // legacy queue: serial order as-is
+          const std::int64_t t0 = tr != nullptr ? obs::traceClockNs() : 0;
           for (NodeId v : touched_) {
             recv(lane, v, static_cast<Round>(w), inboxOf(v));
           }
+          if (tr != nullptr) traceRecvNs_ = obs::traceClockNs() - t0;
         }
       } else {
         // Legacy hook signature: always serial, even at S > 1 (its sends go
         // through broadcast()/unicast() into sendQueue_, preserving order).
+        const std::int64_t t0 = tr != nullptr ? obs::traceClockNs() : 0;
         for (NodeId v : touched_) {
           recv(v, static_cast<Round>(w), inboxOf(v));
         }
+        if (tr != nullptr) traceRecvNs_ = obs::traceClockNs() - t0;
       }
       const bool keep = end(static_cast<Round>(w));
+      if (tr != nullptr) {
+        rd.recvNs = traceRecvNs_;
+        rd.mergeNs = traceMergeNs_;
+        rd.scatterNs = traceScatterNs_;
+        tr->round(rd);
+      }
       for (NodeId v : touched_) inboxCount_[v] = 0;
       touched_.clear();
       if (shards_ > 1) {
@@ -281,10 +343,12 @@ class SyncEngine {
       }
       if (!keep) {
         res.status = WindowStatus::Stopped;
+        trace_ = nullptr;
         return res;
       }
     }
     res.status = WindowStatus::Completed;
+    trace_ = nullptr;
     return res;
   }
 
@@ -371,6 +435,7 @@ class SyncEngine {
   // serial engine would have built, at any shard count.
   template <typename RecvFn>
   void runShardedRecv(Round w, RecvFn& recv) {
+    std::int64_t t0 = trace_ != nullptr ? obs::traceClockNs() : 0;
     pool_->parallelForChunked(shards_, [&](std::size_t cLo, std::size_t cHi) {
       for (std::size_t s = cLo; s < cHi; ++s) {
         Lane& lane = lanes_[s];
@@ -383,6 +448,11 @@ class SyncEngine {
         }
       }
     });
+    if (trace_ != nullptr) {
+      const std::int64_t t1 = obs::traceClockNs();
+      traceRecvNs_ += t1 - t0;
+      t0 = t1;
+    }
     std::fill(runCursor_.begin(), runCursor_.end(), 0);
     std::fill(sendCursor_.begin(), sendCursor_.end(), 0);
     for (NodeId v : touched_) {
@@ -392,6 +462,7 @@ class SyncEngine {
         flushOrder_.push_back(&lanes_[s].sends[sendCursor_[s]++]);
       }
     }
+    if (trace_ != nullptr) traceMergeNs_ += obs::traceClockNs() - t0;
     // Lane storage stays live (flushOrder_ points into it) until the next
     // shardedFlush consumes it; nothing appends to lanes outside recv, so the
     // pointers cannot be invalidated by reallocation in between.
@@ -412,6 +483,7 @@ class SyncEngine {
       for (PendingSend& p : sendQueue_) flushOrder_.push_back(&p);
     }
     if (flushOrder_.empty()) return false;
+    std::int64_t t0 = trace_ != nullptr ? obs::traceClockNs() : 0;
     for (const PendingSend* p : flushOrder_) {
       if (p->to == kNoNode) {
         if (!byz_.contains(p->from)) {
@@ -438,6 +510,13 @@ class SyncEngine {
       total += inboxCount_[v];
     }
     if (inboxArena_.size() < total) inboxArena_.resize(total);
+    if (trace_ != nullptr) {
+      // The serial counting/metering pass belongs with the canonical merge
+      // (both are the Amdahl-serial fraction); the pool pass below is scatter.
+      const std::int64_t t1 = obs::traceClockNs();
+      traceMergeNs_ += t1 - t0;
+      t0 = t1;
+    }
     pool_->parallelForChunked(shards_, [&](std::size_t cLo, std::size_t cHi) {
       // A chunk of contiguous shards owns one contiguous node range.
       const NodeId lo = shardLo(cLo);
@@ -458,6 +537,7 @@ class SyncEngine {
         }
       }
     });
+    if (trace_ != nullptr) traceScatterNs_ += obs::traceClockNs() - t0;
     sendQueue_.clear();
     for (Lane& lane : lanes_) {
       lane.sends.clear();
@@ -490,6 +570,14 @@ class SyncEngine {
   std::vector<PendingSend*> flushOrder_;    ///< canonical send order for the next flush
   std::vector<std::size_t> runCursor_;      ///< merge: next run length per shard
   std::vector<std::size_t> sendCursor_;     ///< merge: next lane send per shard
+
+  // Tracing (observational only — read from committed state, never fed back).
+  // trace_ is set for the duration of a runWindow call so the sharded helpers
+  // know whether to read the clock; the ns accumulators are per-round scratch.
+  obs::TrialTrace* trace_ = nullptr;
+  std::int64_t traceRecvNs_ = 0;
+  std::int64_t traceMergeNs_ = 0;
+  std::int64_t traceScatterNs_ = 0;
 };
 
 }  // namespace bzc

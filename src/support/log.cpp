@@ -1,12 +1,13 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 namespace bzc {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -19,15 +20,45 @@ const char* levelName(LogLevel level) {
   }
   return "?";
 }
+
+/// BZC_LOG env knob; unset or unrecognized keeps the quiet default.
+int initialLevel() {
+  const char* env = std::getenv("BZC_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::Warn);
+  const auto is = [&](const char* name) { return std::strcmp(env, name) == 0; };
+  if (is("off")) return static_cast<int>(LogLevel::Off);
+  if (is("error")) return static_cast<int>(LogLevel::Error);
+  if (is("warn")) return static_cast<int>(LogLevel::Warn);
+  if (is("info")) return static_cast<int>(LogLevel::Info);
+  if (is("debug")) return static_cast<int>(LogLevel::Debug);
+  if (is("trace")) return static_cast<int>(LogLevel::Trace);
+  return static_cast<int>(LogLevel::Warn);
+}
+
+std::atomic<int>& levelRef() {
+  static std::atomic<int> level{initialLevel()};
+  return level;
+}
+
+std::atomic<LogSinkFn> g_sink{&defaultLogSink};
+
 }  // namespace
 
-void setLogLevel(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+void setLogLevel(LogLevel level) noexcept { levelRef().store(static_cast<int>(level)); }
 
-LogLevel logLevel() noexcept { return static_cast<LogLevel>(g_level.load()); }
+LogLevel logLevel() noexcept { return static_cast<LogLevel>(levelRef().load()); }
+
+void defaultLogSink(LogLevel level, const std::string& message) {
+  std::clog << '[' << levelName(level) << "] " << message << '\n';
+}
+
+void setLogSink(LogSinkFn sink) noexcept {
+  g_sink.store(sink != nullptr ? sink : &defaultLogSink);
+}
 
 namespace detail {
 void logLine(LogLevel level, const std::string& message) {
-  std::clog << '[' << levelName(level) << "] " << message << '\n';
+  g_sink.load()(level, message);
 }
 }  // namespace detail
 

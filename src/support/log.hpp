@@ -1,6 +1,15 @@
 // Minimal leveled logger. Simulations are deterministic, so logging exists
 // mainly for example binaries and for debugging failing tests; it defaults
 // to Warn to keep test output quiet.
+//
+// The threshold initializes from BZC_LOG=off|error|warn|info|debug|trace on
+// first use (setLogLevel still overrides programmatically), and emission
+// routes through a single pluggable sink: the default writes to stderr, and
+// the observability layer (src/obs/) swaps in a sink that additionally
+// mirrors Warn+ lines into the active trial trace, so a warning fired mid-
+// run lands on the same timeline as the round records (DESIGN.md §12). The
+// BZC_LOG macro evaluates its expression only when the level passes, so a
+// discarded Debug line formats nothing.
 #pragma once
 
 #include <sstream>
@@ -13,6 +22,15 @@ enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4,
 /// Global threshold; messages below it are discarded.
 void setLogLevel(LogLevel level) noexcept;
 [[nodiscard]] LogLevel logLevel() noexcept;
+
+/// Where formatted lines go. Sinks must be callable from any thread.
+using LogSinkFn = void (*)(LogLevel, const std::string&);
+
+/// The stock sink: "[LEVEL] message" to stderr.
+void defaultLogSink(LogLevel level, const std::string& message);
+
+/// Swaps the process-wide sink (nullptr restores the default).
+void setLogSink(LogSinkFn sink) noexcept;
 
 namespace detail {
 void logLine(LogLevel level, const std::string& message);

@@ -35,6 +35,13 @@ QUALITY_KEYS = {"fracDecided", "fracWithinWindow"}
 # dropping is the usual direction.
 LOWER_IS_BETTER_EXTRAS = {"meanStaleness", "maxStaleness", "meanDrift", "maxDrift"}
 
+# wall_ms is machine-load telemetry, not a deterministic metric: two identical
+# binaries easily differ by tens of percent on shared CI runners. Treat it as
+# lower-is-better but only flag a rise beyond BOTH a relative factor and an
+# absolute floor (short rows jitter the hardest in relative terms).
+WALL_MS_REL_NOISE = 0.25   # ignore rises under 25%
+WALL_MS_ABS_FLOOR = 50.0   # ignore rises under 50 ms either way
+
 
 def load_dir(path: Path) -> dict:
     """name -> summary dict, from every BENCH_*.json under path."""
@@ -96,6 +103,18 @@ def main() -> int:
         new_depth = row.get("pipelineDepth", 1)
         if old_depth != new_depth:
             deltas.append(f"pipelineDepth: {old_depth} → {new_depth} (config change)")
+        # Wall-clock and peak-RSS telemetry (PR 8): reported outside `deltas`
+        # so nondeterministic machine noise never marks a scenario "changed",
+        # but a wall_ms rise beyond the noise floor still joins the regression
+        # list (it gates only under --strict, like the quality metrics).
+        a_wall, b_wall = old.get("wall_ms"), row.get("wall_ms")
+        if a_wall is not None and b_wall is not None and a_wall > 0:
+            rise = b_wall - a_wall
+            if rise > WALL_MS_ABS_FLOOR and rise / a_wall > WALL_MS_REL_NOISE:
+                regressions.append(
+                    f"{name}: wall_ms rose {fmt(a_wall)} → {fmt(b_wall)} "
+                    f"({rise / a_wall:+.2%}, noise floor {WALL_MS_REL_NOISE:.0%}/"
+                    f"{WALL_MS_ABS_FLOOR:.0f}ms)")
         for key, pretty in KEY_METRICS:
             a = old.get(key, {}).get("mean")
             b = row.get(key, {}).get("mean")
