@@ -149,9 +149,29 @@ inline std::int64_t peakRssKb() {
   return static_cast<std::int64_t>(ru.ru_maxrss);
 }
 
+inline void appendJsonDistBody(std::ostringstream& os, const Distribution& d) {
+  os << "{\"mean\":" << d.mean << ",\"min\":" << d.min << ",\"max\":" << d.max
+     << ",\"p10\":" << d.p10 << ",\"p50\":" << d.p50 << ",\"p90\":" << d.p90
+     << ",\"stddev\":" << d.stddev << ",\"ci95lo\":" << d.ci95lo << ",\"ci95hi\":" << d.ci95hi
+     << '}';
+}
+
 inline void appendJsonDist(std::ostringstream& os, const char* key, const Distribution& d) {
-  os << '"' << key << "\":{\"mean\":" << d.mean << ",\"min\":" << d.min << ",\"max\":" << d.max
-     << ",\"p10\":" << d.p10 << ",\"p50\":" << d.p50 << ",\"p90\":" << d.p90 << '}';
+  os << '"' << key << "\":";
+  appendJsonDistBody(os, d);
+}
+
+/// Per-trial sample array for one key metric, pulled from summary.perTrial so
+/// tools/diff_bench_json.py can run rank-sum tests instead of comparing point
+/// estimates.
+inline void appendJsonSamples(std::ostringstream& os, const char* key,
+                              const ExperimentSummary& s, double (*get)(const TrialOutcome&)) {
+  os << '"' << key << "\":[";
+  for (std::size_t i = 0; i < s.perTrial.size(); ++i) {
+    if (i > 0) os << ',';
+    os << get(s.perTrial[i]);
+  }
+  os << ']';
 }
 
 /// One ExperimentSummary as a single JSON line, written to stdout (or
@@ -201,13 +221,37 @@ inline void maybeEmitJson(const ExperimentSummary& s,
   appendJsonDist(os, "totalMessages", s.totalMessages);
   os << ',';
   appendJsonDist(os, "totalBits", s.totalBits);
+  // Extras carry the same field set as the primary distributions (they used
+  // to drop p10/p90/stddev, which kept the diff tool from treating them
+  // uniformly).
   os << ",\"extras\":[";
   for (std::size_t i = 0; i < s.extras.size(); ++i) {
     if (i > 0) os << ',';
-    os << "{\"mean\":" << s.extras[i].mean << ",\"min\":" << s.extras[i].min
-       << ",\"max\":" << s.extras[i].max << ",\"p50\":" << s.extras[i].p50 << '}';
+    appendJsonDistBody(os, s.extras[i]);
   }
-  os << "]}";
+  os << ']';
+  // Raw per-trial samples of the six key metrics: the statistical regression
+  // gate (Mann–Whitney U in tools/diff_bench_json.py) needs the full sample,
+  // not summary scalars.
+  os << ",\"samples\":{";
+  appendJsonSamples(os, "fracDecided", s,
+                    [](const TrialOutcome& t) { return t.quality.fracDecided; });
+  os << ',';
+  appendJsonSamples(os, "fracWithinWindow", s,
+                    [](const TrialOutcome& t) { return t.quality.fracWithinWindow; });
+  os << ',';
+  appendJsonSamples(os, "meanRatio", s,
+                    [](const TrialOutcome& t) { return t.quality.meanRatio; });
+  os << ',';
+  appendJsonSamples(os, "totalRounds", s,
+                    [](const TrialOutcome& t) { return static_cast<double>(t.totalRounds); });
+  os << ',';
+  appendJsonSamples(os, "totalMessages", s,
+                    [](const TrialOutcome& t) { return static_cast<double>(t.totalMessages); });
+  os << ',';
+  appendJsonSamples(os, "totalBits", s,
+                    [](const TrialOutcome& t) { return static_cast<double>(t.totalBits); });
+  os << "}}";
   if (const char* path = std::getenv("BZC_JSON_FILE")) {
     std::ofstream f(path, std::ios::app);
     f << os.str() << '\n';

@@ -266,6 +266,7 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     if (trace != nullptr) {
       trace->span("agreement.iteration", iterT0, engine.round());
       trace->counter("agreement.tokensLaunched", static_cast<double>(launched), engine.round());
+      trace->counter("agreement.maxWalkLen", static_cast<double>(maxLen), engine.round());
       trace->counter("agreement.ones", static_cast<double>(curOnes), engine.round());
       // Running totals: the serial slot plus the not-yet-reduced shard lanes
       // (sums are shard-order invariant).

@@ -370,6 +370,7 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
       if (stage.trace != nullptr) trace->splice(std::move(*stage.trace), report.epoch);
       trace->counter("epoch.estimate", report.estimate, report.epoch);
       trace->counter("epoch.staleness", report.staleness, report.epoch);
+      trace->counter("epoch.drift", report.drift, report.epoch);
     }
     result.epochs.push_back(report);
   }

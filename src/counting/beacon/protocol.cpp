@@ -318,6 +318,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       }
       if (trace != nullptr) {
         trace->span("beacon.decisions", decideT0, engine.round());
+        trace->counter("beacon.phase", static_cast<double>(phase), engine.round());
         trace->counter("beacon.undecidedHonest", static_cast<double>(undecidedHonest),
                        engine.round());
         trace->counter("beacon.blacklistInsertions",

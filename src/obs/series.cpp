@@ -1,0 +1,33 @@
+#include "obs/series.hpp"
+
+#include <map>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace bzc::obs {
+
+std::vector<TimeSeries> buildSeries(const TrialTrace& trace) {
+  // std::map keys the build so the emitted order is sorted by name — a pure
+  // function of the trace content, independent of first-emission order.
+  std::map<std::string, TimeSeries> byName;
+  for (const TraceEvent& e : trace.events) {
+    std::string name;
+    if (e.kind == EventKind::Counter) {
+      name = e.name;
+    } else if (e.kind == EventKind::Mark) {
+      name = std::string("mark.") + e.name;
+    } else {
+      continue;
+    }
+    TimeSeries& series = byName[name];
+    if (series.name.empty()) series.name = name;
+    series.points.push_back(SeriesPoint{e.round, e.lane, e.value});
+  }
+  std::vector<TimeSeries> out;
+  out.reserve(byName.size());
+  for (auto& [name, series] : byName) out.push_back(std::move(series));
+  return out;
+}
+
+}  // namespace bzc::obs

@@ -7,7 +7,7 @@
 
 namespace bzc::obs {
 
-namespace {
+namespace detail {
 
 /// Minimal JSON string escaping (names are static identifiers; scenario
 /// names come from bench code and could in principle carry anything).
@@ -33,7 +33,9 @@ std::string jsonEscape(const std::string& s) {
   return out;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::jsonEscape;
 
 // --- JsonlTraceSink ---------------------------------------------------------
 

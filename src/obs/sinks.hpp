@@ -13,6 +13,11 @@
 
 namespace bzc::obs {
 
+namespace detail {
+/// Minimal JSON string escaping shared by the JSONL/metrics exporters.
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+}  // namespace detail
+
 /// One JSON object per line. Per trial: a `trial` header line, every event
 /// in buffer order, then an `end` line carrying the event count (the
 /// validator cross-checks it). tools/trace_summary.py validates, summarizes

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "support/log.hpp"
 
@@ -87,18 +88,21 @@ void ensureEnvTraceConfig() {
     }
     const char* jsonl = std::getenv("BZC_TRACE");
     const char* chrome = std::getenv("BZC_TRACE_CHROME");
+    const char* metrics = std::getenv("BZC_METRICS");
     // Empty string = unset (CI loops export "" for untraced iterations).
     if (jsonl != nullptr && *jsonl == '\0') jsonl = nullptr;
     if (chrome != nullptr && *chrome == '\0') chrome = nullptr;
-    if (jsonl == nullptr && chrome == nullptr) return;
+    if (metrics != nullptr && *metrics == '\0') metrics = nullptr;
+    if (jsonl == nullptr && chrome == nullptr && metrics == nullptr) return;
     std::shared_ptr<TraceSink> sink;
-    if (jsonl != nullptr) sink = std::make_shared<JsonlTraceSink>(std::string(jsonl));
-    if (chrome != nullptr) {
-      auto c = std::make_shared<ChromeTraceSink>(std::string(chrome));
+    const auto tee = [&sink](std::shared_ptr<TraceSink> next) {
       sink = sink ? std::static_pointer_cast<TraceSink>(
-                        std::make_shared<TeeTraceSink>(std::move(sink), std::move(c)))
-                  : std::static_pointer_cast<TraceSink>(std::move(c));
-    }
+                        std::make_shared<TeeTraceSink>(std::move(sink), std::move(next)))
+                  : std::move(next);
+    };
+    if (jsonl != nullptr) tee(std::make_shared<JsonlTraceSink>(std::string(jsonl)));
+    if (chrome != nullptr) tee(std::make_shared<ChromeTraceSink>(std::string(chrome)));
+    if (metrics != nullptr) tee(std::make_shared<MetricsJsonlSink>(std::string(metrics)));
     std::uint32_t sample = 1;
     if (const char* env = std::getenv("BZC_TRACE_TRIALS")) {
       const int v = std::atoi(env);

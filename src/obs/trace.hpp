@@ -211,10 +211,12 @@ void setTraceSink(std::shared_ptr<TraceSink> sink, std::uint32_t sampleTrials = 
 
 /// Lazily configures the sink from the environment, once per process:
 /// BZC_TRACE=path (JSONL event stream), BZC_TRACE_CHROME=path (chrome
-/// trace_event timeline), BZC_TRACE_TRIALS=k (sample width, default 1).
-/// Called by ExperimentRunner on first use so every bench/example/test
-/// honors the knobs without plumbing. A sink installed programmatically
-/// before the first run wins over the environment.
+/// trace_event timeline), BZC_METRICS=path (per-trial histogram/series JSONL
+/// derived at the sink, obs/metrics.hpp — tools/metrics_report.py renders
+/// it), BZC_TRACE_TRIALS=k (sample width, default 1). Called by
+/// ExperimentRunner on first use so every bench/example/test honors the
+/// knobs without plumbing. A sink installed programmatically before the
+/// first run wins over the environment.
 void ensureEnvTraceConfig();
 
 }  // namespace bzc::obs

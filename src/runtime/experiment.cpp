@@ -284,6 +284,10 @@ Distribution Distribution::of(std::vector<double> sample) {
   d.mean = stat.mean();
   d.min = stat.min();
   d.max = stat.max();
+  d.stddev = stat.stddev();
+  // No bootstrap stream: the CI degenerates to the point estimate.
+  d.ci95lo = d.mean;
+  d.ci95hi = d.mean;
   // Sort once; quantile() would otherwise copy and re-sort per call.
   std::sort(sample.begin(), sample.end());
   const auto at = [&](double q) {
@@ -296,6 +300,33 @@ Distribution Distribution::of(std::vector<double> sample) {
   d.p10 = at(0.10);
   d.p50 = at(0.50);
   d.p90 = at(0.90);
+  return d;
+}
+
+Distribution Distribution::of(std::vector<double> sample, Rng boot) {
+  Distribution d = of(sample);
+  const std::size_t n = sample.size();
+  if (n < 2) return d;  // CI stays the point estimate
+  // Percentile bootstrap of the mean: B resample means, 2.5%/97.5% order
+  // statistics. The stream is a fork of a fixed seed taken in the serial
+  // aggregation pass, so the CI is bit-identical at any thread count.
+  constexpr std::size_t kResamples = 200;
+  std::vector<double> means(kResamples);
+  for (std::size_t b = 0; b < kResamples; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += sample[boot.uniform(n)];
+    means[b] = sum / static_cast<double>(n);
+  }
+  std::sort(means.begin(), means.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(means.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = lo + 1 < means.size() ? lo + 1 : lo;
+    const double frac = pos - static_cast<double>(lo);
+    return means[lo] + (means[hi] - means[lo]) * frac;
+  };
+  d.ci95lo = at(0.025);
+  d.ci95hi = at(0.975);
   return d;
 }
 
@@ -395,14 +426,20 @@ ExperimentSummary ExperimentRunner::runWith(ThreadPool& pool, const std::string&
     if (t.hitRoundCap) ++summary.cappedTrials;
     combined = fnv1a64(&t.resultFingerprint, sizeof t.resultFingerprint, combined);
   }
-  summary.fracDecided = Distribution::of(std::move(fracDecided));
-  summary.fracWithinWindow = Distribution::of(std::move(fracWithin));
-  summary.meanRatio = Distribution::of(std::move(meanRatio));
-  summary.totalRounds = Distribution::of(std::move(rounds));
-  summary.totalMessages = Distribution::of(std::move(messages));
-  summary.totalBits = Distribution::of(std::move(bits));
+  // Bootstrap CIs: one forked stream per metric slot off a fixed seed, drawn
+  // here in the serial pass — deterministic and thread-count invariant
+  // (tests/metrics_test.cpp pins the bitwise identity across runner widths).
+  const Rng boot(0xb0075eedULL);
+  summary.fracDecided = Distribution::of(std::move(fracDecided), boot.fork(0));
+  summary.fracWithinWindow = Distribution::of(std::move(fracWithin), boot.fork(1));
+  summary.meanRatio = Distribution::of(std::move(meanRatio), boot.fork(2));
+  summary.totalRounds = Distribution::of(std::move(rounds), boot.fork(3));
+  summary.totalMessages = Distribution::of(std::move(messages), boot.fork(4));
+  summary.totalBits = Distribution::of(std::move(bits), boot.fork(5));
   summary.extras.reserve(extraSlots);
-  for (std::vector<double>& slot : extras) summary.extras.push_back(Distribution::of(std::move(slot)));
+  for (std::size_t s = 0; s < extraSlots; ++s) {
+    summary.extras.push_back(Distribution::of(std::move(extras[s]), boot.fork(16 + s)));
+  }
   summary.combinedFingerprint = combined;
   summary.perTrial = std::move(outcomes);
   return summary;

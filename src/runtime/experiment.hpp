@@ -205,8 +205,18 @@ struct Distribution {
   double p10 = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double stddev = 0.0;  ///< sample stddev (n-1); 0 for a single trial
+  /// Seeded-bootstrap 95% CI of the mean (percentile method, B = 200
+  /// resamples). Computed only by the Rng overload; the runner seeds it in
+  /// the serial aggregation pass, so CIs are thread-count invariant like
+  /// every other summary field. Degenerate (= mean) for a single trial.
+  double ci95lo = 0.0;
+  double ci95hi = 0.0;
 
   [[nodiscard]] static Distribution of(std::vector<double> sample);
+  /// Same, plus the bootstrap CI drawn from `boot` (consumed by value: each
+  /// metric slot gets its own forked stream).
+  [[nodiscard]] static Distribution of(std::vector<double> sample, Rng boot);
 };
 
 struct ExperimentSummary {

@@ -249,9 +249,13 @@ class SyncEngine {
     // round loop reads no clock and builds no record (the "null sink" path).
     obs::TrialTrace* const tr = obs::currentTrace();
     trace_ = tr;
+    // Whole-window span (phase-time attribution in tools/metrics_report.py):
+    // emitted at every exit so span counts per trial stay deterministic.
+    const std::int64_t winT0 = tr != nullptr ? obs::traceClockNs() : 0;
     for (std::uint32_t w = 1; rounds == 0 || w <= rounds; ++w) {
       if (round_ >= maxTotalRounds_) {
         res.status = WindowStatus::Capped;
+        if (tr != nullptr) tr->span("engine.window", winT0, round_);
         trace_ = nullptr;
         return res;
       }
@@ -300,6 +304,7 @@ class SyncEngine {
           rd.mergeNs = traceMergeNs_;
           rd.scatterNs = traceScatterNs_;
           tr->round(rd);
+          tr->span("engine.window", winT0, round_);
         }
         trace_ = nullptr;
         return res;
@@ -343,11 +348,13 @@ class SyncEngine {
       }
       if (!keep) {
         res.status = WindowStatus::Stopped;
+        if (tr != nullptr) tr->span("engine.window", winT0, round_);
         trace_ = nullptr;
         return res;
       }
     }
     res.status = WindowStatus::Completed;
+    if (tr != nullptr) tr->span("engine.window", winT0, round_);
     trace_ = nullptr;
     return res;
   }

@@ -173,6 +173,60 @@ TEST(RunningStat, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStat, MergeEmptySides) {
+  RunningStat a;
+  a.add(3.0);
+  a.add(5.0);
+
+  RunningStat empty;
+  a.merge(empty);  // empty right side is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_NEAR(a.variance(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+  RunningStat b;
+  b.merge(a);  // empty left side adopts the right side wholesale
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 4.0);
+  EXPECT_NEAR(b.variance(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
+  EXPECT_DOUBLE_EQ(b.max(), 5.0);
+
+  RunningStat c;
+  RunningStat d;
+  c.merge(d);  // both empty stays empty, not NaN
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.mean(), 0.0);
+  EXPECT_EQ(c.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeSingleElementSides) {
+  // Two singletons combine into an exact two-sample stat: the Chan update
+  // must not lose the cross term when either m2 is still zero.
+  RunningStat a;
+  RunningStat b;
+  a.add(2.0);
+  b.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_NEAR(a.variance(), 8.0, 1e-12);  // ((2-4)^2 + (6-4)^2) / (2-1)
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+
+  // Singleton merged into a larger side matches the sequential stat.
+  RunningStat seq;
+  for (const double x : {2.0, 6.0, 7.0}) seq.add(x);
+  RunningStat single;
+  single.add(7.0);
+  a.merge(single);
+  EXPECT_EQ(a.count(), seq.count());
+  EXPECT_NEAR(a.mean(), seq.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), seq.variance(), 1e-12);
+}
+
 TEST(RunningStat, EmptyIsZero) {
   RunningStat stat;
   EXPECT_EQ(stat.count(), 0u);

@@ -1,0 +1,444 @@
+#!/usr/bin/env python3
+"""Render a metrics/analytics report from traced runs (DESIGN.md §13).
+
+Usage:
+  metrics_report.py TRACE.jsonl [TRACE2.jsonl ...] [--metrics METRICS.jsonl]
+                    [--bench BENCH.json] [--out REPORT.md] [--html REPORT.html]
+                    [--check]
+
+Inputs:
+  TRACE_*.jsonl    BZC_TRACE event streams (schema owned by trace_summary.py)
+  --metrics        BZC_METRICS per-trial histogram/series JSONL (repeatable);
+                   cross-checked against the traces when both are given
+  --bench          BENCH_*.json summary rows (repeatable); adds the bench
+                   table with bootstrap CIs
+
+Outputs a markdown report (--out, default stdout) and optionally a
+self-contained HTML version with inline-SVG convergence charts (--html).
+The report shows, per traced trial: the per-round convergence curves the
+paper's figures are built from (beacon undecided decay, blacklist growth,
+churn estimate/staleness per epoch), a phase-time attribution table over the
+span probes, and the engine round-traffic summary.
+
+--check validates instead of merely rendering: trace schema, metrics-line
+schema, metrics/trace series reconciliation, and that at least one known
+convergence series was rendered. Exit 1 on any problem (CI smoke mode).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from trace_summary import split_trials, validate  # noqa: E402 (schema owner)
+
+# Series the paper's convergence figures are built from; --check requires at
+# least one of these to be present and rendered.
+CONVERGENCE_SERIES = [
+    "beacon.undecidedHonest",
+    "beacon.blacklistInsertions",
+    "beacon.beaconsGenerated",
+    "agreement.answered",
+    "agreement.compromised",
+    "agreement.ones",
+    "epoch.estimate",
+    "epoch.staleness",
+    "epoch.drift",
+    "churn.liveN",
+]
+
+METRICS_KEYS = {"type", "scenario", "trial", "fingerprint", "hists", "series"}
+HIST_KEYS = {"name", "wall", "precision", "count", "sum", "min", "max", "buckets"}
+
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+# --- loading -----------------------------------------------------------------
+
+def load_trace_trials(paths):
+    """[{key, scenario, trial, series{name: [(round, lane, value)]},
+        spans{name: (count, total_ns)}, rounds, messages, bits, marks}]"""
+    out = []
+    for path in paths:
+        for header, events, end in split_trials(path):
+            trial = {
+                "key": f"{header['scenario']}#{header['trial']}",
+                "scenario": header["scenario"],
+                "trial": header["trial"],
+                "series": {},
+                "spans": {},
+                "rounds": end["rounds"],
+                "messages": end["messages"],
+                "bits": end["bits"],
+                "marks": {},
+            }
+            for e in events:
+                kind = e["type"]
+                if kind == "counter":
+                    trial["series"].setdefault(e["name"], []).append(
+                        (e["round"], e["lane"], e["value"]))
+                elif kind == "span":
+                    cnt, total = trial["spans"].get(e["name"], (0, 0))
+                    trial["spans"][e["name"]] = (cnt + 1, total + e.get("dur", 0))
+                elif kind == "mark":
+                    trial["marks"][e["name"]] = trial["marks"].get(e["name"], 0) + 1
+            out.append(trial)
+    return out
+
+
+def load_metrics(paths):
+    """(scenario, trial) -> [metrics objects]; raises ValueError on bad schema.
+
+    A bench binary may run the same scenario name under several configs, so a
+    (scenario, trial) key can repeat; occurrences are kept in file order and
+    matched positionally against the trace trials (same sink, same order)."""
+    out = {}
+    for path in paths:
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: not JSON ({e})")
+            missing = METRICS_KEYS - obj.keys()
+            if missing:
+                raise ValueError(f"{path}:{lineno}: metrics line missing {sorted(missing)}")
+            for h in obj["hists"]:
+                hmissing = HIST_KEYS - h.keys()
+                if hmissing:
+                    raise ValueError(
+                        f"{path}:{lineno}: hist {h.get('name')!r} missing {sorted(hmissing)}")
+                total = sum(c for _, _, c in h["buckets"])
+                if total != h["count"]:
+                    raise ValueError(
+                        f"{path}:{lineno}: hist {h['name']!r} bucket counts sum to "
+                        f"{total}, header says {h['count']}")
+            for s in obj["series"]:
+                if "name" not in s or "points" not in s:
+                    raise ValueError(f"{path}:{lineno}: series missing name/points")
+            out.setdefault((obj["scenario"], obj["trial"]), []).append(obj)
+    return out
+
+
+def load_bench(paths):
+    rows = []
+    for path in paths:
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                print(f"warning: unparseable line in {path}", file=sys.stderr)
+    return rows
+
+
+def match_metrics(trials, metrics):
+    """trial-index -> metrics object, matching repeated (scenario, trial) keys
+    positionally (nth trace occurrence of a key gets the nth metrics line)."""
+    matched = {}
+    cursor = {}
+    for i, t in enumerate(trials):
+        key = (t["scenario"], t["trial"])
+        n = cursor.get(key, 0)
+        cursor[key] = n + 1
+        lines = metrics.get(key, [])
+        if n < len(lines):
+            matched[i] = lines[n]
+    return matched
+
+
+def reconcile(trials, matched):
+    """Cross-checks matched metrics lines against trace trials."""
+    problems = []
+    for i, m in matched.items():
+        t = trials[i]
+        for s in m["series"]:
+            name = s["name"]
+            if name.startswith("mark."):
+                continue  # marks are counted, not stored pointwise, trace-side
+            trace_points = t["series"].get(name, [])
+            if len(s["points"]) != len(trace_points):
+                problems.append(
+                    f"{t['key']}: series {name!r} has {len(s['points'])} metric "
+                    f"points vs {len(trace_points)} trace counter events")
+    return problems
+
+
+# --- rendering helpers -------------------------------------------------------
+
+def sparkline(values, width=60):
+    if not values:
+        return ""
+    if len(values) > width:  # resample to fit
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return SPARK_BLOCKS[3] * len(values)
+    span = hi - lo
+    return "".join(SPARK_BLOCKS[min(7, int((v - lo) / span * 8))] for v in values)
+
+
+def fmt(x):
+    return f"{x:.6g}"
+
+
+def svg_chart(title, points, width=660, height=200):
+    """Single-series inline-SVG line chart: 2px line, recessive grid, native
+    <title> hover tooltips on the sample markers. x = point order (rounds may
+    restart across epochs/stages); the tooltip carries the true round/epoch."""
+    pad_l, pad_r, pad_t, pad_b = 56, 12, 28, 22
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    ys = [v for _, _, v in points]
+    lo, hi = min(ys), max(ys)
+    if hi == lo:
+        lo, hi = lo - 0.5, hi + 0.5
+    n = len(points)
+
+    def px(i):
+        return pad_l + (plot_w * i / max(1, n - 1))
+
+    def py(v):
+        return pad_t + plot_h * (1 - (v - lo) / (hi - lo))
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        f'role="img" aria-label="{title}" '
+        'style="background:#ffffff;font-family:system-ui,sans-serif">',
+        f'<text x="{pad_l}" y="16" fill="#111827" font-size="13" '
+        f'font-weight="600">{title}</text>',
+    ]
+    for frac in (0.0, 0.5, 1.0):  # recessive horizontal grid + axis labels
+        y = pad_t + plot_h * frac
+        val = hi - (hi - lo) * frac
+        parts.append(f'<line x1="{pad_l}" y1="{y:.1f}" x2="{width - pad_r}" '
+                     f'y2="{y:.1f}" stroke="#e5e7eb" stroke-width="1"/>')
+        parts.append(f'<text x="{pad_l - 6}" y="{y + 4:.1f}" fill="#6b7280" '
+                     f'font-size="11" text-anchor="end">{fmt(val)}</text>')
+    poly = " ".join(f"{px(i):.1f},{py(v):.1f}" for i, (_, _, v) in enumerate(points))
+    parts.append(f'<polyline points="{poly}" fill="none" stroke="#1d4ed8" '
+                 'stroke-width="2" stroke-linejoin="round"/>')
+    # Hover layer: markers only when sparse enough to hit; the polyline stays
+    # the visual, the (invisible-ish) circles carry the tooltips.
+    if n <= 200:
+        for i, (rnd, lane, v) in enumerate(points):
+            parts.append(
+                f'<circle cx="{px(i):.1f}" cy="{py(v):.1f}" r="4" fill="#1d4ed8" '
+                f'fill-opacity="0.15" stroke="none">'
+                f'<title>round {rnd}, lane {lane}: {fmt(v)}</title></circle>')
+    parts.append(f'<text x="{width - pad_r}" y="{height - 6}" fill="#6b7280" '
+                 f'font-size="11" text-anchor="end">{n} samples (point order)</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def series_rows(trial):
+    """(name, points) sorted by name, convergence series first."""
+    known = [n for n in CONVERGENCE_SERIES if n in trial["series"]]
+    rest = sorted(n for n in trial["series"] if n not in CONVERGENCE_SERIES)
+    return [(n, trial["series"][n]) for n in known + rest]
+
+
+# --- report builders ---------------------------------------------------------
+
+def render_markdown(trials, matched, n_metrics, bench_rows):
+    out = ["# Metrics report", ""]
+    out.append(f"Traced trials: {len(trials)}; metrics lines: {n_metrics}; "
+               f"bench rows: {len(bench_rows)}.")
+    out.append("")
+    for i, t in enumerate(trials):
+        out.append(f"## {t['key']}: {t['rounds']} rounds, {t['messages']} messages, "
+                   f"{t['bits']} bits")
+        out.append("")
+        rows = series_rows(t)
+        if rows:
+            out.append("### Convergence curves")
+            out.append("")
+            out.append("| series | samples | first | last | min | max | trajectory |")
+            out.append("|---|---|---|---|---|---|---|")
+            for name, pts in rows:
+                vals = [v for _, _, v in pts]
+                out.append(f"| `{name}` | {len(vals)} | {fmt(vals[0])} | {fmt(vals[-1])} "
+                           f"| {fmt(min(vals))} | {fmt(max(vals))} | "
+                           f"`{sparkline(vals)}` |")
+            out.append("")
+        if t["spans"]:
+            out.append("### Phase-time attribution")
+            out.append("")
+            total_ns = t["spans"].get("trial", (0, 0))[1]
+            out.append("| span | count | total ms | % of trial |")
+            out.append("|---|---|---|---|")
+            for name, (cnt, ns) in sorted(t["spans"].items(),
+                                          key=lambda kv: -kv[1][1]):
+                pct = f"{ns / total_ns * 100:.1f}%" if total_ns > 0 else "–"
+                out.append(f"| `{name}` | {cnt} | {ns / 1e6:.3f} | {pct} |")
+            out.append("")
+        m = matched.get(i)
+        if m is not None:
+            out.append("### Histograms (deterministic projection flagged wall=0)")
+            out.append("")
+            out.append(f"metrics fingerprint: `{m['fingerprint']}`")
+            out.append("")
+            out.append("| histogram | wall | count | mean | min | max |")
+            out.append("|---|---|---|---|---|---|")
+            for h in m["hists"]:
+                mean = h["sum"] / h["count"] if h["count"] else 0.0
+                out.append(f"| `{h['name']}` | {h['wall']} | {h['count']} | {fmt(mean)} "
+                           f"| {h['min']} | {h['max']} |")
+            out.append("")
+    if bench_rows:
+        out.append("## Bench summary")
+        out.append("")
+        out.append("| scenario | trials | wall ms | rounds mean [95% CI] | "
+                   "messages mean | frac decided mean [95% CI] |")
+        out.append("|---|---|---|---|---|---|")
+        for row in bench_rows:
+            def ci_cell(d):
+                if not isinstance(d, dict):
+                    return "–"
+                mean = d.get("mean", 0.0)
+                lo, hi = d.get("ci95lo"), d.get("ci95hi")
+                if lo is None or hi is None or (lo == hi == mean):
+                    return fmt(mean)
+                return f"{fmt(mean)} [{fmt(lo)}, {fmt(hi)}]"
+            wall = row.get("wall_ms")
+            out.append(f"| {row['name']} | {row.get('trials', '–')} | "
+                       f"{fmt(wall) if wall is not None else '–'} | "
+                       f"{ci_cell(row.get('totalRounds'))} | "
+                       f"{ci_cell(row.get('totalMessages'))} | "
+                       f"{ci_cell(row.get('fracDecided'))} |")
+        out.append("")
+    return "\n".join(out) + "\n"
+
+
+def render_html(trials, bench_rows):
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>Metrics report</title>",
+        "<style>body{font-family:system-ui,sans-serif;color:#111827;max-width:960px;"
+        "margin:2rem auto;padding:0 1rem;background:#ffffff}"
+        "table{border-collapse:collapse;margin:0.75rem 0}"
+        "td,th{border:1px solid #e5e7eb;padding:4px 8px;font-size:13px;text-align:left}"
+        "th{background:#f9fafb}h2{margin-top:2rem}code{background:#f3f4f6;"
+        "padding:1px 4px;border-radius:3px}details{margin:0.5rem 0}"
+        "summary{color:#6b7280;cursor:pointer}</style></head><body>",
+        "<h1>Metrics report</h1>",
+    ]
+    for t in trials:
+        parts.append(f"<h2>{t['key']}</h2>")
+        parts.append(f"<p>{t['rounds']} rounds, {t['messages']} messages, "
+                     f"{t['bits']} bits.</p>")
+        for name, pts in series_rows(t):
+            if len(pts) < 2:
+                continue
+            parts.append(svg_chart(name, pts))
+            # Table view of the plotted data (accessibility / CVD fallback).
+            rows = "".join(f"<tr><td>{r}</td><td>{lane}</td><td>{fmt(v)}</td></tr>"
+                           for r, lane, v in pts[:500])
+            parts.append(f"<details><summary>data: {name}</summary><table>"
+                         "<tr><th>round</th><th>lane</th><th>value</th></tr>"
+                         f"{rows}</table></details>")
+        if t["spans"]:
+            total_ns = t["spans"].get("trial", (0, 0))[1]
+            parts.append("<h3>Phase-time attribution</h3><table>"
+                         "<tr><th>span</th><th>count</th><th>total ms</th>"
+                         "<th>% of trial</th></tr>")
+            for name, (cnt, ns) in sorted(t["spans"].items(), key=lambda kv: -kv[1][1]):
+                pct = f"{ns / total_ns * 100:.1f}%" if total_ns > 0 else "–"
+                parts.append(f"<tr><td><code>{name}</code></td><td>{cnt}</td>"
+                             f"<td>{ns / 1e6:.3f}</td><td>{pct}</td></tr>")
+            parts.append("</table>")
+    if bench_rows:
+        parts.append("<h2>Bench summary</h2><table><tr><th>scenario</th>"
+                     "<th>trials</th><th>wall ms</th><th>rounds mean</th>"
+                     "<th>frac decided mean</th></tr>")
+        for row in bench_rows:
+            wall = row.get("wall_ms")
+            rounds = row.get("totalRounds", {})
+            frac = row.get("fracDecided", {})
+            parts.append(
+                f"<tr><td>{row['name']}</td><td>{row.get('trials', '–')}</td>"
+                f"<td>{fmt(wall) if wall is not None else '–'}</td>"
+                f"<td>{fmt(rounds.get('mean', 0.0))}</td>"
+                f"<td>{fmt(frac.get('mean', 0.0))}</td></tr>")
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("traces", type=Path, nargs="+", metavar="TRACE.jsonl")
+    ap.add_argument("--metrics", type=Path, action="append", default=[],
+                    help="BZC_METRICS JSONL file (repeatable)")
+    ap.add_argument("--bench", type=Path, action="append", default=[],
+                    help="BENCH_*.json row file (repeatable)")
+    ap.add_argument("--out", type=Path, help="markdown output (default stdout)")
+    ap.add_argument("--html", type=Path, help="also write a self-contained HTML report")
+    ap.add_argument("--check", action="store_true",
+                    help="validate schemas + rendered content; exit 1 on problems")
+    args = ap.parse_args()
+
+    problems = []
+    for path in args.traces + args.metrics + args.bench:
+        if not path.exists():
+            print(f"error: {path} not found", file=sys.stderr)
+            return 1
+    for path in args.traces:
+        problems += validate(path)
+
+    trials = load_trace_trials(args.traces) if not problems else []
+    try:
+        metrics = load_metrics(args.metrics)
+    except ValueError as e:
+        problems.append(str(e))
+        metrics = {}
+    bench_rows = load_bench(args.bench)
+    n_metrics = sum(len(v) for v in metrics.values())
+    matched = match_metrics(trials, metrics)
+    problems += reconcile(trials, matched)
+
+    if args.check:
+        if not trials:
+            problems.append("no traced trials parsed")
+        rendered = {name for t in trials for name in t["series"]}
+        if trials and not rendered.intersection(CONVERGENCE_SERIES):
+            problems.append(
+                "no known convergence series present (expected one of "
+                f"{CONVERGENCE_SERIES[:4]}...)")
+        if trials and not any(t["spans"] for t in trials):
+            problems.append("no phase spans present — attribution table would be empty")
+
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+
+    markdown = render_markdown(trials, matched, n_metrics, bench_rows)
+    if args.out:
+        args.out.write_text(markdown)
+        print(f"wrote {args.out}")
+    else:
+        print(markdown, end="")
+    if args.html:
+        args.html.write_text(render_html(trials, bench_rows))
+        print(f"wrote {args.html}")
+    if args.check:
+        print(f"OK: {len(trials)} trial(s), "
+              f"{sum(len(t['series']) for t in trials)} series, "
+              f"{n_metrics} metrics line(s) ({len(matched)} matched to traces) "
+              "— schema and reconciliation pass")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)
