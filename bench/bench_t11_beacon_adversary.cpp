@@ -185,7 +185,7 @@ int main() {
       AgreementAttackProfile::hunter(2));
 
   Table coalitionTable({"plan", "agree", "combined score", "beacon forged", "coalition hits",
-                        "frac decided"});
+                        "frac decided", "blame conc", "blame s0/s1"});
   double scorePure = 0.0, scoreMixed = 0.0;
   const struct {
     const char* label;
@@ -202,7 +202,13 @@ int main() {
                            Table::num(s.extras[kAgreementCombinedScore].mean, 3),
                            Table::num(s.extras[kAgreementBeaconForged].mean, 0),
                            Table::num(s.extras[kAgreementCoalitionHits].mean, 0),
-                           distPercentCell(s.fracDecided)});
+                           distPercentCell(s.fracDecided),
+                           // Blame-graph projections (DESIGN.md §14): damage
+                           // concentration over causes, and the per-subset
+                           // split of attributed damage.
+                           Table::num(s.extras[kAgreementBlameConcentration].mean, 3),
+                           Table::num(s.extras[kAgreementBlameSubset0].mean, 0) + "/" +
+                               Table::num(s.extras[kAgreementBlameSubset1].mean, 0)});
     if (entry.plan == &pureFlood) scorePure = s.extras[kAgreementCombinedScore].mean;
     if (entry.plan == &mixed) scoreMixed = s.extras[kAgreementCombinedScore].mean;
   }

@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 #include "adversary/strategies.hpp"
 #include "agreement/pipeline.hpp"
+#include "obs/provenance.hpp"
 
 int main() {
   using namespace bzc;
@@ -205,8 +206,9 @@ int main() {
       "ball crosses the Byzantine boundary; the hunter poisons exactly those with\n"
       "one coalition-locked bit (surgical: global agreement survives), while the\n"
       "adaptive answerer at the same budget degrades the whole network.");
-  Table remark({"strategy", "agree (global)", "victim-area flipped", "coalition hits"});
-  enum : std::size_t { kScore, kHits, kAgree, kRemarkSlots };
+  Table remark({"strategy", "agree (global)", "victim-area flipped", "coalition hits",
+                "blame conc", "top offender"});
+  enum : std::size_t { kScore, kHits, kAgree, kConc, kTopShare, kRemarkSlots };
   double hunterScore = 0;
   double hunterGlobalDisagree = 0;
   for (const auto& profile :
@@ -242,10 +244,17 @@ int main() {
                                        out.finalValues, out.initialMajority);
       t.extra[kHits] = static_cast<double>(out.adversary.coalitionHits);
       t.extra[kAgree] = out.fracAgreeing;
+      // Blame-graph projections (DESIGN.md §14): how concentrated the damage
+      // is over individual moat members. The hunter should look diffuse (the
+      // whole moat participates); a lone tamperer would approach 1.0.
+      t.extra[kConc] = obs::blameConcentration(out.blame);
+      t.extra[kTopShare] = obs::blameTopShare(out.blame);
       return t;
     });
     remark.addRow({profile.name, distPercentCell(s.extras[kAgree]),
-                   distPercentCell(s.extras[kScore]), Table::num(s.extras[kHits].mean, 0)});
+                   distPercentCell(s.extras[kScore]), Table::num(s.extras[kHits].mean, 0),
+                   Table::num(s.extras[kConc].mean, 3),
+                   Table::percent(s.extras[kTopShare].mean)});
     if (profile.kind == WalkAttackKind::VictimHunter) {
       hunterScore = s.extras[kScore].mean;
       hunterGlobalDisagree = 1.0 - s.extras[kAgree].mean;

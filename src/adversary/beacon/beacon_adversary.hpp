@@ -30,7 +30,13 @@ namespace bzc {
 struct BeaconFrame {
   PublicId origin = kNoPublicId;
   BeaconPathRef path = kNoBeaconPath;
-  std::uint32_t len = 0;  ///< number of IDs on `path`
+  std::uint32_t len = 0;       ///< number of IDs on `path`
+  NodeId forgeNode = kNoNode;  ///< provenance: Byzantine author/tamperer of this
+                               ///< payload (kNoNode = honest-authored). Simulation
+                               ///< bookkeeping with no wire cost — stamped by the
+                               ///< protocol at the forge/Replace boundaries, copied
+                               ///< along honest relays, resolved into blacklist
+                               ///< blame edges at Line 32 (DESIGN.md §14)
 };
 
 /// The delivery a transit hook gets to inspect: the first beacon in the

@@ -39,6 +39,12 @@ struct WalkToken {
                                     ///< (0xff = none); lets a mixed coalition
                                     ///< route forgeAnswer to the subset whose
                                     ///< member did the tainting (DESIGN.md §9)
+  NodeId taintNode = kNoNode;  ///< provenance: first Byzantine actor that touched
+                               ///< this token (taint/flip/misroute) — stamped by
+                               ///< the protocol around the adversary hooks, resolved
+                               ///< into blame-graph edges at the origin (DESIGN.md §14)
+  std::uint64_t provId = 0;    ///< provenance: unique token id linking the launch
+                               ///< mark to the answer/drop mark (Chrome flow events)
   std::uint32_t hopsLeft = 0;  ///< outbound hops still to take
   PathRef path = kNullPath;    ///< reverse route, arena-pooled (O(1) token copy)
   Rng stream{};                ///< this token's private forwarding stream; the NSDMI

@@ -109,6 +109,34 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
   };
   std::vector<SampleCounters> counterLane(S);
 
+  // Blame-graph lanes (DESIGN.md §14), mirroring statsLane: shard-parallel
+  // phases record keyed edges into their own graph, merged at the end (keyed
+  // sums are shard-order invariant). Collection is unconditional — no RNG, no
+  // control flow change — so goldens are identical attribution on or off.
+  std::vector<obs::BlameGraph> blameLane(S > 1 ? S : 0);
+  const auto blameAt = [&](unsigned s) -> obs::BlameGraph& {
+    return S > 1 ? blameLane[s] : out.blame;
+  };
+  // Per-origin compromised-sample records for the wrong-decision
+  // counterfactual: written only at the origin accept (v is shard-owned, so
+  // race-free), read in the serial decision loop. At most 2 samples/node.
+  std::vector<std::uint8_t> compCnt(n, 0);
+  std::vector<std::uint8_t> compOnes(n, 0);
+  std::vector<NodeId> compCause(2 * static_cast<std::size_t>(n), kNoNode);
+
+  // Walk-token lifecycle marks for Chrome flow arrows (satellite of §14):
+  // terminal marks happen inside the shard-parallel recv, so they queue in
+  // per-shard lanes and flush serially at the iteration boundary in shard
+  // order. Gated on the flow knob — O(n) marks per iteration otherwise
+  // swamp every nightly trace.
+  struct TokenMark {
+    std::uint64_t provId;
+    std::uint64_t round;
+    bool answered;
+  };
+  std::vector<std::vector<TokenMark>> markLane(S);
+  const bool flowMarks = obs::currentTrace() != nullptr && obs::traceFlowMarks();
+
   const auto recv = [&](Engine::ShardLane& lane, NodeId v, Round w,
                         std::span<const Engine::Delivery> box) {
     const unsigned shard = lane.shard();
@@ -129,16 +157,38 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
             tally[v] += t.answer;
             ++answersSeen[v];
             ++counterLane[shard].answered;
-            if (t.compromised) ++counterLane[shard].compromised;
+            if (t.compromised) {
+              ++counterLane[shard].compromised;
+              // Blame the first Byzantine actor that touched this token, and
+              // remember the sample for the serial wrong-decision
+              // counterfactual (v is shard-owned: no race).
+              blameAt(shard).add(obs::BlameKind::CompromisedSample,
+                                 t.taintNode == kNoNode ? obs::kBlameNone : t.taintNode, v);
+              compCause[2 * static_cast<std::size_t>(v) + compCnt[v]] = t.taintNode;
+              compOnes[v] = static_cast<std::uint8_t>(compOnes[v] + t.answer);
+              ++compCnt[v];
+            }
+            if (flowMarks) markLane[shard].push_back({t.provId, w, true});
           } else {
             ++statsAt(shard).strayAnswers;
+            blameAt(shard).add(obs::BlameKind::StrayAnswer,
+                               t.taintNode == kNoNode ? obs::kBlameNone : t.taintNode,
+                               t.origin);
+            if (flowMarks) markLane[shard].push_back({t.provId, w, false});
           }
           continue;
         }
         if (byz.contains(v)) {
+          const bool wasCompromised = t.compromised;
+          const std::uint8_t wasAnswer = t.answer;
           const TokenAction act = strategy.onAnswerRelay(ctxAt(v), t);
+          if (!wasCompromised && t.compromised && t.taintNode == kNoNode) t.taintNode = v;
+          if (t.answer != wasAnswer)
+            blameAt(shard).add(obs::BlameKind::FlippedAnswer, v, t.origin);
           if (act.op == TokenAction::Op::Drop) {
             ++statsAt(shard).droppedAnswers;
+            blameAt(shard).add(obs::BlameKind::DroppedAnswer, v, t.origin);
+            if (flowMarks) markLane[shard].push_back({t.provId, w, false});
             continue;
           }
           if (act.op == TokenAction::Op::Redirect) {
@@ -146,6 +196,8 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
             // arrives at the target with no path left and is accepted only
             // if the target happens to be its origin.
             BZC_ASSERT(g.hasEdge(v, act.target));
+            blameAt(shard).add(obs::BlameKind::MisroutedAnswer, v, t.origin);
+            if (t.taintNode == kNoNode) t.taintNode = v;
             t.path = kNullPath;
             lane.unicast(v, act.target, std::move(t), kAnswerBits);
             continue;
@@ -158,10 +210,14 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
         continue;
       }
       if (byz.contains(v)) {
+        const bool wasCompromised = t.compromised;
         const TokenAction act = strategy.onQuery(ctxAt(v), t);
         BZC_ASSERT(act.op != TokenAction::Op::Redirect);  // queries follow their walk
+        if (!wasCompromised && t.compromised && t.taintNode == kNoNode) t.taintNode = v;
         if (act.op == TokenAction::Op::Drop) {
           ++statsAt(shard).droppedQueries;
+          blameAt(shard).add(obs::BlameKind::DroppedQuery, v, t.origin);
+          if (flowMarks) markLane[shard].push_back({t.provId, w, false});
           continue;
         }
       }
@@ -173,9 +229,11 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
           // transit, or the walk ended on a Byzantine node. Forge before
           // marking — strategies distinguish targeted (tainted) tokens from
           // untargeted ones that merely ended on the adversary.
+          if (t.taintNode == kNoNode) t.taintNode = v;  // untainted: the endpoint is byz
           t.answer = strategy.forgeAnswer(ctxAt(v), t);
           t.compromised = true;
           ++statsAt(shard).forgedAnswers;
+          blameAt(shard).add(obs::BlameKind::ForgedAnswer, t.taintNode, t.origin);
         } else {
           t.answer = value[v];
         }
@@ -212,6 +270,8 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     std::fill(tally.begin(), tally.end(), 0);
     std::fill(answersSeen.begin(), answersSeen.end(), 0);
     std::fill(answersExpected.begin(), answersExpected.end(), 0);
+    std::fill(compCnt.begin(), compCnt.end(), 0);
+    std::fill(compOnes.begin(), compOnes.end(), 0);
     arena.clear();  // no token outlives its iteration window
 
     // Fresh per-receiver streams for this iteration (see recvRng above).
@@ -227,11 +287,16 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
         WalkToken t;
         t.origin = u;
         t.hopsLeft = walkLen[u];
+        // Unique per (iteration, origin, sample slot): the flow-event id that
+        // links this launch to the token's terminal mark.
+        t.provId = (static_cast<std::uint64_t>(it) * n + u) * 2 + s;
         t.stream =
             walkBase.fork((static_cast<std::uint64_t>(it) << 33) ^ (static_cast<std::uint64_t>(u) << 1) ^ s);
         const NodeId first = nbrs[t.stream.uniform(nbrs.size())];
         --t.hopsLeft;
         t.path = arena.push(first, kNullPath);
+        if (flowMarks)
+          trace->mark("walk.launch", static_cast<double>(t.provId), engine.round());
         engine.unicast(u, first, std::move(t), kWalkTokenBits);
         ++answersExpected[u];
       }
@@ -258,9 +323,37 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
       const std::uint32_t total =
           static_cast<std::uint32_t>(value[u]) * (3u - answersSeen[u]) + tally[u];
       const std::uint8_t next = total >= 2 ? 1 : 0;
+      // Wrong-decision counterfactual (DESIGN.md §14): replay the majority
+      // with the compromised samples removed from both tally and seen-count.
+      // A differing verdict means the adversary flipped this node's decision
+      // this iteration — blame every recorded tainter of the removed samples.
+      if (compCnt[u] > 0) {
+        const std::uint8_t cleanSeen =
+            static_cast<std::uint8_t>(answersSeen[u] - compCnt[u]);
+        const std::uint32_t cleanTotal =
+            static_cast<std::uint32_t>(value[u]) * (3u - cleanSeen) + tally[u] - compOnes[u];
+        if ((cleanTotal >= 2 ? 1 : 0) != next) {
+          for (std::uint8_t k = 0; k < compCnt[u]; ++k) {
+            const NodeId cause = compCause[2 * static_cast<std::size_t>(u) + k];
+            out.blame.add(obs::BlameKind::WrongDecision,
+                          cause == kNoNode ? obs::kBlameNone : cause, u);
+          }
+        }
+      }
       curOnes += next;
       curOnes -= value[u];
       value[u] = next;
+    }
+
+    // Flush queued terminal token marks serially, in shard order — buffer
+    // order stays a pure function of the trial at any shard count.
+    if (flowMarks) {
+      for (unsigned s = 0; s < S; ++s) {
+        for (const TokenMark& m : markLane[s])
+          trace->mark(m.answered ? "walk.answer" : "walk.drop",
+                      static_cast<double>(m.provId), m.round);
+        markLane[s].clear();
+      }
     }
 
     if (trace != nullptr) {
@@ -301,9 +394,20 @@ AgreementOutcome runMajorityAgreement(const Graph& g, const ByzantineSet& byz,
     out.compromisedSamples += c.compromised;
   }
   for (const AdversaryStats& st : statsLane) out.adversary.accumulate(st);
+  for (const obs::BlameGraph& bl : blameLane) out.blame.merge(bl);
 
   out.totalRounds = static_cast<Round>(engine.round());
   out.adversary.coalitionHits = coalition.hits();
+  // Reconciliation denominators: the AdversaryStats mirror the blame edges
+  // must sum to exactly (tools/blame_report.py --check, provenance_test).
+  out.blame.addTotal("walk.droppedQueries", out.adversary.droppedQueries);
+  out.blame.addTotal("walk.droppedAnswers", out.adversary.droppedAnswers);
+  out.blame.addTotal("walk.flippedAnswers", out.adversary.flippedAnswers);
+  out.blame.addTotal("walk.forgedAnswers", out.adversary.forgedAnswers);
+  out.blame.addTotal("walk.misroutedAnswers", out.adversary.misroutedAnswers);
+  out.blame.addTotal("walk.strayAnswers", out.adversary.strayAnswers);
+  out.blame.addTotal("walk.answeredSamples", out.answeredSamples);
+  out.blame.addTotal("walk.compromisedSamples", out.compromisedSamples);
   out.meter = engine.releaseMeter();
   out.finalValues = std::move(value);
   return out;

@@ -27,6 +27,7 @@
 #include "adversary/profile.hpp"
 #include "adversary/walk_adversary.hpp"
 #include "graph/graph.hpp"
+#include "obs/provenance.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/metrics.hpp"
 #include "support/rng.hpp"
@@ -61,6 +62,11 @@ struct AgreementOutcome {
   std::uint64_t compromisedSamples = 0;  ///< answered samples the adversary controlled
   std::uint64_t answeredSamples = 0;     ///< sample slots whose answer reached the origin
   AdversaryStats adversary;  ///< what the strategy did (extras-only; not fingerprinted)
+  obs::BlameGraph blame;  ///< causal damage attribution (DESIGN.md §14): which
+                          ///< Byzantine node compromised/dropped/misrouted which
+                          ///< origin's samples, and whose forgeries flipped which
+                          ///< local decisions. Collected unconditionally from
+                          ///< committed state — diagnostics, never fingerprinted
   MessageMeter meter;  ///< honest walk-token / answer traffic, engine-metered
   std::vector<std::uint8_t> finalValues;  ///< per node; Byzantine entries 0
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "support/require.hpp"
 
@@ -242,12 +243,32 @@ std::unique_ptr<ChurnModel> makeChurnModel(const ChurnSchedule& schedule) {
   return nullptr;
 }
 
-void applyChurnEvents(DynamicOverlay& overlay, const ChurnEvents& events, Rng& rng) {
+void applyChurnEvents(DynamicOverlay& overlay, const ChurnEvents& events, Rng& rng,
+                      ChurnLineage* lineage) {
   // Fixed application order (leaves, joins, rewires, repair): the overlay
   // trajectory must be a pure function of (initial state, events, stream).
+  // Lineage capture reads membership before the draws and pairs afterwards —
+  // it never touches the stream, so collecting it is golden-invariant.
+  std::vector<std::uint64_t> byzLeft;
+  if (lineage != nullptr && events.byzJoins > 0 && !events.leaves.empty()) {
+    std::unordered_set<std::uint64_t> byzIds;
+    for (const OverlayMember& m : overlay.members())
+      if (m.byzantine) byzIds.insert(m.id);
+    for (std::uint64_t id : events.leaves)
+      if (byzIds.count(id) > 0) byzLeft.push_back(id);
+  }
   for (std::uint64_t id : events.leaves) overlay.leave(id, rng);
   for (std::uint32_t j = 0; j < events.honestJoins; ++j) overlay.join(false, rng);
-  for (std::uint32_t j = 0; j < events.byzJoins; ++j) overlay.join(true, rng);
+  for (std::uint32_t j = 0; j < events.byzJoins; ++j) {
+    const std::uint64_t fresh = overlay.join(true, rng);
+    if (lineage != nullptr) {
+      // ByzantineChurn grants rejoin credit per faked departure; pair each
+      // fresh identity round-robin with this epoch's departed Byzantine
+      // identities (credit carried across epochs pairs with no cause).
+      lineage->rejoins.emplace_back(
+          byzLeft.empty() ? kNoChurnCause : byzLeft[j % byzLeft.size()], fresh);
+    }
+  }
   for (std::uint32_t r = 0; r < events.rewires; ++r) overlay.rewire(rng);
   overlay.repairToRegular(rng);
 }

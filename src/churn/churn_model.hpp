@@ -62,9 +62,24 @@ class ChurnModel {
 /// Materialises the model a schedule names. Requires kind != None.
 [[nodiscard]] std::unique_ptr<ChurnModel> makeChurnModel(const ChurnSchedule& schedule);
 
+/// Whitewashing lineage recovered while applying one event batch: for every
+/// Byzantine join, the departed Byzantine identity it launders (the rejoin
+/// credit ByzantineChurn granted) paired with the fresh identity the overlay
+/// assigned. `oldId` is kNoChurnCause when the epoch had no Byzantine
+/// departures to pair against (credit carried over from earlier epochs).
+/// Purely observational bookkeeping — collecting it draws nothing.
+inline constexpr std::uint64_t kNoChurnCause = ~0ull;
+struct ChurnLineage {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rejoins;  ///< {oldId, freshId}
+};
+
 /// Applies one event batch: leaves, joins (honest then Byzantine), rewires,
 /// then repairs to d-regularity. Draws from `rng` in that fixed order.
-void applyChurnEvents(DynamicOverlay& overlay, const ChurnEvents& events, Rng& rng);
+/// `lineage`, when non-null, records the whitewashing rejoin pairs
+/// (old Byzantine identity -> fresh identity) for the blame graph
+/// (DESIGN.md §14); passing it changes no draw and no overlay state.
+void applyChurnEvents(DynamicOverlay& overlay, const ChurnEvents& events, Rng& rng,
+                      ChurnLineage* lineage = nullptr);
 
 /// Poisson(lambda) draw by Knuth inversion (exact, portable; O(lambda)).
 [[nodiscard]] std::uint32_t poissonDraw(double lambda, Rng& rng);

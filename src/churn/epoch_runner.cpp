@@ -186,6 +186,10 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
   // recounts get child buffers (EpochStage::trace) spliced at the fold.
   obs::TrialTrace* const trace = obs::currentTrace();
 
+  // Churn-level blame (rejoin lineage), collected serially on the overlay
+  // stage in global-id space and merged into the trial's graph at the fold.
+  obs::BlameGraph churnBlame;
+
   for (std::uint32_t epoch = 1; epoch <= spec.churn.epochs; ++epoch) {
     EpochStage& stage = stages[epoch - 1];
     EpochReport& report = stage.report;
@@ -197,7 +201,17 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
       Rng repairRng = repairBase.fork(epoch);
       const ChurnEvents events = model->epochEvents(overlay, epoch, eventRng);
       const std::size_t before = overlay.liveCount();
-      applyChurnEvents(overlay, events, repairRng);
+      ChurnLineage lineage;
+      applyChurnEvents(overlay, events, repairRng, &lineage);
+      // Whitewashing lineage (DESIGN.md §14): each Byzantine rejoin becomes a
+      // blame edge from the laundered identity to the fresh one. Global ids,
+      // so no dense remap applies; recorded serially on the overlay stage.
+      for (const auto& [oldId, freshId] : lineage.rejoins) {
+        churnBlame.add(obs::BlameKind::RejoinLineage,
+                       oldId == kNoChurnCause ? obs::kBlameNone : oldId, freshId);
+      }
+      if (!lineage.rejoins.empty())
+        churnBlame.addTotal("churn.byzRejoins", lineage.rejoins.size());
       if (trace != nullptr) trace->span("overlay.repair", repairT0, epoch);
       report.joins = events.honestJoins + events.byzJoins;
       report.leaves = static_cast<std::uint32_t>(
@@ -291,7 +305,14 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
             [es = std::move(epochSpec), snapPtr, rng = std::move(protoRng), childTrace]() mutable {
               const obs::TraceScope scope(childTrace);
               const obs::ScopedTimer timer("epoch.recount");
-              return runProtocolTrial(es, snapPtr->graph, snapPtr->byz, std::move(rng));
+              TrialOutcome o = runProtocolTrial(es, snapPtr->graph, snapPtr->byz, std::move(rng));
+              // Blame edges carry dense per-epoch node ids; remap to global
+              // overlay ids while the snapshot slot is still alive (it is
+              // reused once this recount retires). Epoch 1's empty map is
+              // the identity, keeping zero-churn blame bit-identical to the
+              // static path.
+              o.blame.remapNodes(snapPtr->denseToId);
+              return o;
             });
         slot.stage = epoch - 1;
         inflight.push_back(epoch - 1);
@@ -301,6 +322,7 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
         const obs::TraceScope scope(childTrace);
         const obs::ScopedTimer timer("epoch.recount");
         stage.out = runProtocolTrial(epochSpec, snap.graph, snap.byz, std::move(protoRng));
+        stage.out.blame.remapNodes(snap.denseToId);
       }
     }
   }
@@ -343,6 +365,8 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
       total.totalMessages += out.totalMessages;
       total.totalBits += out.totalBits;
       total.hitRoundCap = total.hitRoundCap || out.hitRoundCap;
+      // Keyed sums in epoch order: depth-invariant like the rest of the fold.
+      total.blame.merge(out.blame);
       if (!haveFingerprint) {
         // First recount seeds the fold, so a single-epoch schedule carries
         // the static path's fingerprint through unchanged.
@@ -375,6 +399,7 @@ ChurnTrialResult runChurnTrialDetailed(const ScenarioSpec& spec, std::uint32_t i
     result.epochs.push_back(report);
   }
   if (trace != nullptr) trace->span("epoch.finalize", foldT0, spec.churn.epochs);
+  total.blame.merge(churnBlame);
 
   const double epochsRun = static_cast<double>(spec.churn.epochs);
   total.extra.assign(kChurnExtraSlots, 0.0);

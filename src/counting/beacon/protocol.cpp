@@ -134,6 +134,19 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
   const auto advStatsAt = [&](unsigned s) -> BeaconAdversaryStats& {
     return (S > 1 && s != kSerialSlot) ? advLane[s] : out.stats.adversary;
   };
+  // Blame-graph lanes (DESIGN.md §14), routed exactly like advStatsAt:
+  // serial-context edges (forge boundary, continue spam) go straight to
+  // out.blame, shard-parallel edges to per-shard graphs merged at the end
+  // (keyed sums are shard-order invariant). Collection is unconditional and
+  // reads committed state only, so goldens are identical attribution on/off.
+  std::vector<bzc::obs::BlameGraph> blameLane(S > 1 ? S : 0);
+  const auto blameAt = [&](unsigned s) -> bzc::obs::BlameGraph& {
+    return (S > 1 && s != kSerialSlot) ? blameLane[s] : out.blame;
+  };
+  // Line 32 insertions off honest-authored shortest paths: the collateral
+  // the blame graph cannot pin on a cause; reconciled as
+  // attributed + untainted == blacklistInsertions.
+  std::uint64_t untaintedInsertions = 0;
   const auto ctxAt = [&](NodeId at, Round r, unsigned s) {
     return BeaconContext{at,    r, g, arena.lane((S > 1 && s != kSerialSlot) ? s : 0u),
                          board, fakeAt(at, s), advStatsAt(s), obs};
@@ -197,6 +210,11 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
           BeaconFrame forged;
           if (adversary.forgeBeacon(ctxAt(u, 0, kSerialSlot), forged)) {
             ++out.stats.adversary.beaconsForged;
+            // Provenance stamp: every id this payload later plants in a
+            // blacklist traces back to u (the tag rides honest relays — the
+            // payload is copied verbatim, DESIGN.md §14).
+            forged.forgeNode = u;
+            out.blame.add(bzc::obs::BlameKind::BeaconForged, u, bzc::obs::kBlameNone);
             engine.broadcast(u, forged, beaconBits(forged.len));
           }
           continue;
@@ -223,6 +241,13 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
                 ctxAt(v, r, shard), {in.sender, ids.publicId(in.sender), in.payload});
             if (act.op == BeaconTransit::Op::Drop) {
               ++advStatsAt(shard).relaysSuppressed;
+              // Victim: the honest author whose beacon died here (fabricated
+              // or Byzantine origins resolve to no specific victim).
+              const NodeId origin = ids.lookup(in.payload.origin);
+              blameAt(shard).add(bzc::obs::BlameKind::RelaySuppressed, v,
+                                 origin != kNoNode && !byz.contains(origin)
+                                     ? origin
+                                     : bzc::obs::kBlameNone);
               return;
             }
             BeaconFrame fwd;
@@ -230,6 +255,9 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
               ++advStatsAt(shard).relaysTampered;
               ++advStatsAt(shard).beaconsForged;
               fwd = act.replacement;
+              fwd.forgeNode = v;  // provenance stamp, as at the forge boundary
+              blameAt(shard).add(bzc::obs::BlameKind::RelayTampered, v,
+                                 bzc::obs::kBlameNone);
             } else {
               // Honest-looking relay: append the sender's unfakeable ID.
               fwd = in.payload;
@@ -289,6 +317,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       // --- counters reduce over per-shard deltas (sums are order-invariant).
       std::vector<std::size_t> decidedDelta(S, 0);
       std::vector<std::uint64_t> insertDelta(S, 0);
+      std::vector<std::uint64_t> untaintedDelta(S, 0);
       const std::int64_t decideT0 = trace != nullptr ? bzc::obs::traceClockNs() : 0;
       engine.forEachShard([&](std::size_t s, NodeId lo, NodeId hi) {
         for (NodeId u = lo; u < hi; ++u) {
@@ -304,8 +333,28 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
             const std::uint32_t len = st.shortest[u].len;
             if (len > suffix) {
               st.blacklist[u].reserve(st.blacklist[u].size() + (len - suffix));
+              // Provenance resolution (DESIGN.md §14): a tainted shortest
+              // path blames its forger/tamperer for every id it plants —
+              // honest ids are the graft/tamper damage the paper's blacklist
+              // defence exists to bound; fabricated/Byzantine ids are noise
+              // insertions by the same cause.
+              const NodeId forger = st.shortest[u].forgeNode;
               arena.walkPrefix(st.shortest[u].path, suffix, [&](PublicId id) {
-                if (st.blacklist[u].insert(id).second) ++insertDelta[s];
+                if (st.blacklist[u].insert(id).second) {
+                  ++insertDelta[s];
+                  if (forger != kNoNode) {
+                    const NodeId src = ids.lookup(id);
+                    if (src != kNoNode && !byz.contains(src))
+                      blameAt(static_cast<unsigned>(s))
+                          .add(bzc::obs::BlameKind::BlacklistedHonestId, forger, src);
+                    else
+                      blameAt(static_cast<unsigned>(s))
+                          .add(bzc::obs::BlameKind::BlacklistedFakeId, forger,
+                               bzc::obs::kBlameNone);
+                  } else {
+                    ++untaintedDelta[s];
+                  }
+                }
                 return true;
               });
             }
@@ -315,6 +364,7 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
       for (unsigned s = 0; s < S; ++s) {
         undecidedHonest -= decidedDelta[s];
         out.stats.blacklistInsertions += insertDelta[s];
+        untaintedInsertions += untaintedDelta[s];
       }
       if (trace != nullptr) {
         trace->span("beacon.decisions", decideT0, engine.round());
@@ -338,7 +388,10 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         const bool byzSource = byz.contains(u) && adversary.spamContinue(ctxAt(u, 0, kSerialSlot));
         if (!honestSource && !byzSource) continue;
         if (honestSource) ++out.stats.continueMessages;
-        if (byzSource) ++out.stats.adversary.continuesSpammed;
+        if (byzSource) {
+          ++out.stats.adversary.continuesSpammed;
+          out.blame.add(bzc::obs::BlameKind::ContinueSpam, u, bzc::obs::kBlameNone);
+        }
         st.receivedContinue[u] = 1;  // sources need no re-entry signal
         engine.broadcast(u, BeaconFrame{}, kContinueBits);
       }
@@ -349,7 +402,11 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
         bool relays;
         if (byz.contains(v)) {
           relays = adversary.onContinueRelay(ctxAt(v, r, lane.shard()));
-          if (!relays && r < continueWindow) ++advStatsAt(lane.shard()).continuesSuppressed;
+          if (!relays && r < continueWindow) {
+            ++advStatsAt(lane.shard()).continuesSuppressed;
+            blameAt(lane.shard())
+                .add(bzc::obs::BlameKind::ContinueSuppressed, v, bzc::obs::kBlameNone);
+          }
         } else {
           relays = st.participating[v] != 0;
         }
@@ -387,7 +444,18 @@ BeaconOutcome runBeaconCounting(const Graph& g, const ByzantineSet& byz,
   out.result.hitRoundCap = capped;
   out.result.meter = engine.releaseMeter();
   for (const BeaconAdversaryStats& laneStats : advLane) out.stats.adversary.accumulate(laneStats);
+  for (const bzc::obs::BlameGraph& bl : blameLane) out.blame.merge(bl);
   out.stats.beaconsForged = out.stats.adversary.beaconsForged;
+  // Reconciliation denominators (tools/blame_report.py --check): edge sums
+  // must meet these exactly — BeaconForged + RelayTampered == beaconsForged,
+  // BlacklistedHonestId + BlacklistedFakeId + untainted == blacklistInsertions.
+  out.blame.addTotal("beacon.beaconsForged", out.stats.adversary.beaconsForged);
+  out.blame.addTotal("beacon.relaysSuppressed", out.stats.adversary.relaysSuppressed);
+  out.blame.addTotal("beacon.relaysTampered", out.stats.adversary.relaysTampered);
+  out.blame.addTotal("beacon.continuesSuppressed", out.stats.adversary.continuesSuppressed);
+  out.blame.addTotal("beacon.continuesSpammed", out.stats.adversary.continuesSpammed);
+  out.blame.addTotal("beacon.blacklistInsertions", out.stats.blacklistInsertions);
+  out.blame.addTotal("beacon.untaintedInsertions", untaintedInsertions);
   if (!out.stats.quiesced) {
     // The phase loop may have ended by cap/maxPhase; re-check quiescence.
     bool anyParticipant = false;

@@ -25,6 +25,7 @@
 #include "counting/beacon/params.hpp"
 #include "counting/common.hpp"
 #include "graph/graph.hpp"
+#include "obs/provenance.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/ids.hpp"
 #include "support/rng.hpp"
@@ -48,6 +49,11 @@ struct BeaconRunStats {
 struct BeaconOutcome {
   CountingResult result;
   BeaconRunStats stats;
+  obs::BlameGraph blame;  ///< causal damage attribution (DESIGN.md §14): which
+                          ///< forger/tamperer got which honest id blacklisted,
+                          ///< who suppressed whose beacons, who spammed/withheld
+                          ///< continues. Collected unconditionally from committed
+                          ///< state — diagnostics, never fingerprinted
 };
 
 /// Runs Algorithm 2 on g driving Byzantine nodes through a BeaconAdversary

@@ -1,5 +1,6 @@
 #include "obs/sinks.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -156,12 +157,90 @@ void ChromeTraceSink::consume(const TrialTrace& trace) {
            << e.value << "}}";
         break;
       case EventKind::Mark:
+        // Walk-token lifecycle marks additionally become flow events
+        // ("s"/"f" pairs keyed by the token's provenance id, DESIGN.md §14):
+        // chrome://tracing draws an arrow from each token's launch to its
+        // answer/drop, across rounds and lanes. The instant is kept too so
+        // the marks stay visible on the timeline.
+        if (std::strcmp(e.name, "walk.launch") == 0) {
+          os << "{\"ph\":\"s\",\"cat\":\"walk\",\"name\":\"walk\",\"id\":"
+             << static_cast<std::uint64_t>(e.value) << ",\"pid\":" << pid
+             << ",\"tid\":" << e.lane << ",\"ts\":" << us(e.tsNs) << "}";
+          lines_.push_back(os.str());
+          os.str("");
+        } else if (std::strcmp(e.name, "walk.answer") == 0 ||
+                   std::strcmp(e.name, "walk.drop") == 0) {
+          os << "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"walk\",\"name\":\"walk\",\"id\":"
+             << static_cast<std::uint64_t>(e.value) << ",\"pid\":" << pid
+             << ",\"tid\":" << e.lane << ",\"ts\":" << us(e.tsNs) << "}";
+          lines_.push_back(os.str());
+          os.str("");
+        }
         os << "{\"ph\":\"i\",\"name\":\"" << e.name << "\",\"pid\":" << pid
            << ",\"tid\":" << e.lane << ",\"ts\":" << us(e.tsNs) << ",\"s\":\"t\"}";
         break;
     }
     lines_.push_back(os.str());
   }
+}
+
+// --- AttribJsonlSink --------------------------------------------------------
+
+AttribJsonlSink::AttribJsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)), os_(owned_.get()) {
+  BZC_REQUIRE(static_cast<std::ofstream&>(*owned_).is_open(),
+              "BZC_ATTRIB: cannot open " + path);
+}
+
+AttribJsonlSink::AttribJsonlSink(std::ostream& os) : os_(&os) {}
+
+AttribJsonlSink::~AttribJsonlSink() { os_->flush(); }
+
+void AttribJsonlSink::writeBlame(std::ostream& os, const TrialTrace& trace) {
+  const BlameGraph& g = trace.blame;
+  // Node-id fields use -1 for "none" (kBlameNone): unattributed cause /
+  // graph-wide victim / no subset mapping.
+  const auto id = [](std::uint64_t v) -> std::int64_t {
+    return v == kBlameNone ? -1 : static_cast<std::int64_t>(v);
+  };
+  os << "{\"type\":\"blame\",\"scenario\":\"" << jsonEscape(trace.scenario)
+     << "\",\"trial\":" << trace.trial << ",\"edges\":[";
+  bool first = true;
+  for (const BlameEdge& e : g.canonical()) {
+    if (!first) os << ',';
+    first = false;
+    std::int64_t subset = -1;
+    if (e.cause != kBlameNone && e.cause < g.subsetOf.size() && g.subsetOf[e.cause] != 0xff)
+      subset = g.subsetOf[e.cause];
+    os << "{\"kind\":\"" << blameKindName(e.kind) << "\",\"subset\":" << subset
+       << ",\"cause\":" << id(e.cause) << ",\"victim\":" << id(e.victim)
+       << ",\"count\":" << e.count << '}';
+  }
+  os << "],\"totals\":{";
+  first = true;
+  for (const auto& [name, value] : g.totals()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << jsonEscape(name) << "\":" << value;
+  }
+  os << '}';
+  if (!g.victimDistance.empty()) {
+    os << ",\"victimDist\":[";
+    for (std::size_t i = 0; i < g.victimDistance.size(); ++i) {
+      if (i > 0) os << ',';
+      os << g.victimDistance[i];
+    }
+    os << ']';
+  }
+  os << "}\n";
+}
+
+void AttribJsonlSink::consume(const TrialTrace& trace) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  writeBlame(os, trace);
+  *os_ << os.str();
+  os_->flush();
 }
 
 }  // namespace bzc::obs

@@ -63,6 +63,29 @@ class ChromeTraceSink : public TraceSink {
   std::uint32_t nextPid_ = 0;
 };
 
+/// Blame-graph exporter (BZC_ATTRIB, DESIGN.md §14): one JSON object per
+/// consumed trial carrying the canonical edge projection (kind/subset/cause/
+/// victim/count), the named reconciliation totals, and — when present — the
+/// victim-distance table for concentration-vs-distance curves.
+/// tools/blame_report.py renders and `--check`s this format.
+class AttribJsonlSink : public TraceSink {
+ public:
+  /// Truncates `path` and writes to it.
+  explicit AttribJsonlSink(const std::string& path);
+  /// Writes to a caller-owned stream (tests).
+  explicit AttribJsonlSink(std::ostream& os);
+  ~AttribJsonlSink() override;
+
+  void consume(const TrialTrace& trace) override;
+
+  static void writeBlame(std::ostream& os, const TrialTrace& trace);
+
+ private:
+  std::mutex mutex_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+};
+
 /// Test sink: stores deep copies of every consumed buffer.
 class CapturingTraceSink : public TraceSink {
  public:

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
@@ -79,6 +80,16 @@ std::uint32_t traceSampleTrials() noexcept {
   return g_sampleTrials;
 }
 
+namespace {
+std::atomic<bool> g_flowMarks{false};
+}  // namespace
+
+void setTraceFlowMarks(bool enabled) noexcept {
+  g_flowMarks.store(enabled, std::memory_order_relaxed);
+}
+
+bool traceFlowMarks() noexcept { return g_flowMarks.load(std::memory_order_relaxed); }
+
 void ensureEnvTraceConfig() {
   static std::once_flag once;
   std::call_once(once, [] {
@@ -89,11 +100,13 @@ void ensureEnvTraceConfig() {
     const char* jsonl = std::getenv("BZC_TRACE");
     const char* chrome = std::getenv("BZC_TRACE_CHROME");
     const char* metrics = std::getenv("BZC_METRICS");
+    const char* attrib = std::getenv("BZC_ATTRIB");
     // Empty string = unset (CI loops export "" for untraced iterations).
     if (jsonl != nullptr && *jsonl == '\0') jsonl = nullptr;
     if (chrome != nullptr && *chrome == '\0') chrome = nullptr;
     if (metrics != nullptr && *metrics == '\0') metrics = nullptr;
-    if (jsonl == nullptr && chrome == nullptr && metrics == nullptr) return;
+    if (attrib != nullptr && *attrib == '\0') attrib = nullptr;
+    if (jsonl == nullptr && chrome == nullptr && metrics == nullptr && attrib == nullptr) return;
     std::shared_ptr<TraceSink> sink;
     const auto tee = [&sink](std::shared_ptr<TraceSink> next) {
       sink = sink ? std::static_pointer_cast<TraceSink>(
@@ -103,10 +116,14 @@ void ensureEnvTraceConfig() {
     if (jsonl != nullptr) tee(std::make_shared<JsonlTraceSink>(std::string(jsonl)));
     if (chrome != nullptr) tee(std::make_shared<ChromeTraceSink>(std::string(chrome)));
     if (metrics != nullptr) tee(std::make_shared<MetricsJsonlSink>(std::string(metrics)));
+    if (attrib != nullptr) tee(std::make_shared<AttribJsonlSink>(std::string(attrib)));
     std::uint32_t sample = 1;
     if (const char* env = std::getenv("BZC_TRACE_TRIALS")) {
       const int v = std::atoi(env);
       if (v > 0) sample = static_cast<std::uint32_t>(v);
+    }
+    if (const char* env = std::getenv("BZC_TRACE_FLOW")) {
+      if (*env != '\0' && *env != '0') setTraceFlowMarks(true);
     }
     setTraceSink(std::move(sink), sample);
   });

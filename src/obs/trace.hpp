@@ -39,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/provenance.hpp"
+
 namespace bzc::obs {
 
 /// Mirrors runtime kMaxEngineShards without depending on the engine header
@@ -93,6 +95,11 @@ class TrialTrace {
   std::string scenario;
   std::uint32_t trial = 0;
   std::vector<TraceEvent> events;
+  /// The trial's resolved blame graph (DESIGN.md §14), copied in by the
+  /// runner at the serial sink point just before consume(); collection is
+  /// unconditional, so this is export plumbing only. AttribJsonlSink
+  /// (BZC_ATTRIB) serializes it.
+  BlameGraph blame;
 
   void round(const RoundRecord& r) {
     TraceEvent e;
@@ -209,11 +216,22 @@ void setTraceSink(std::shared_ptr<TraceSink> sink, std::uint32_t sampleTrials = 
 [[nodiscard]] std::shared_ptr<TraceSink> traceSink();
 [[nodiscard]] std::uint32_t traceSampleTrials() noexcept;
 
+/// Per-token walk lifecycle marks (walk.launch / walk.answer / walk.drop —
+/// the events ChromeTraceSink pairs into flow arrows). Off by default even
+/// when tracing: a traced agreement trial emits O(n) marks per iteration,
+/// which would dominate every nightly trace. BZC_TRACE_FLOW=1 (or a
+/// programmatic set) opts in; purely an emission gate, so the protocol
+/// goldens are unaffected either way.
+void setTraceFlowMarks(bool enabled) noexcept;
+[[nodiscard]] bool traceFlowMarks() noexcept;
+
 /// Lazily configures the sink from the environment, once per process:
 /// BZC_TRACE=path (JSONL event stream), BZC_TRACE_CHROME=path (chrome
 /// trace_event timeline), BZC_METRICS=path (per-trial histogram/series JSONL
 /// derived at the sink, obs/metrics.hpp — tools/metrics_report.py renders
-/// it), BZC_TRACE_TRIALS=k (sample width, default 1). Called by
+/// it), BZC_ATTRIB=path (per-trial blame-graph JSONL, obs/provenance.hpp —
+/// tools/blame_report.py renders it), BZC_TRACE_TRIALS=k (sample width,
+/// default 1). Called by
 /// ExperimentRunner on first use so every bench/example/test honors the
 /// knobs without plumbing. A sink installed programmatically before the
 /// first run wins over the environment.

@@ -31,6 +31,14 @@ const char* agreementExtraSlotName(std::size_t slot) {
     case kAgreementBeaconForged: return "beaconForged";
     case kAgreementCoalitionSubsets: return "coalitionSubsets";
     case kAgreementCombinedScore: return "combinedScore";
+    case kAgreementWrongDecisions: return "wrongDecisions";
+    case kAgreementBlameTotal: return "blameTotal";
+    case kAgreementBlameConcentration: return "blameConcentration";
+    case kAgreementBlameTopShare: return "blameTopShare";
+    case kAgreementBlameSubset0: return "blameSubset0";
+    case kAgreementBlameSubset1: return "blameSubset1";
+    case kAgreementBlameSubset2: return "blameSubset2";
+    case kAgreementBlameSubset3: return "blameSubset3";
   }
   return "?";
 }
@@ -99,6 +107,41 @@ void foldAgreementStage(TrialOutcome& outcome, const AgreementOutcome& agreement
   outcome.extra[kAgreementCoalitionHits] = static_cast<double>(adv.coalitionHits);
 }
 
+/// Scalar projections of the assembled blame graph into the extras (slots
+/// 13..20). Call after outcome.blame is final — subsetOf annotation included,
+/// since blameBySubset reads it.
+void foldBlameExtras(TrialOutcome& outcome) {
+  const obs::BlameGraph& g = outcome.blame;
+  outcome.extra[kAgreementWrongDecisions] =
+      static_cast<double>(g.kindCount(obs::BlameKind::WrongDecision));
+  outcome.extra[kAgreementBlameTotal] = static_cast<double>(blameTotal(g));
+  outcome.extra[kAgreementBlameConcentration] = blameConcentration(g);
+  outcome.extra[kAgreementBlameTopShare] = blameTopShare(g);
+  const std::vector<std::uint64_t> bySubset = blameBySubset(g);
+  for (std::size_t s = 0; s < obs::kBlameMaxSubsets; ++s) {
+    outcome.extra[kAgreementBlameSubset0 + s] = static_cast<double>(bySubset[s]);
+  }
+}
+
+/// BFS hop distance from the placement victim (0xffff = unreachable), used
+/// by the blame-concentration-vs-distance curves in tools/blame_report.py.
+/// Computed only for sampled (traced) trials — it is O(n + m) per trial.
+std::vector<std::uint16_t> victimDistances(const Graph& g, NodeId victim) {
+  std::vector<std::uint16_t> dist(g.numNodes(), 0xffff);
+  if (victim >= g.numNodes()) return dist;
+  std::vector<NodeId> queue{victim};
+  dist[victim] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (const NodeId v : g.neighbors(u)) {
+      if (dist[v] != 0xffff) continue;
+      dist[v] = static_cast<std::uint16_t>(dist[u] + 1);
+      queue.push_back(v);
+    }
+  }
+  return dist;
+}
+
 }  // namespace
 
 TrialOutcome ExperimentRunner::runTrial(const ScenarioSpec& spec, std::uint32_t index) {
@@ -155,6 +198,15 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
             : coalitionScore(trial.graph, trial.byz, victim, radius, agreement.finalValues,
                              agreement.initialMajority);
   };
+  // Export-side blame annotations (DESIGN.md §14): subset labels when a
+  // coalition plan partitioned the budget, victim BFS distances for sampled
+  // (traced) trials only. Neither feeds back into protocol state.
+  const auto annotateBlame = [&](TrialOutcome& outcome) {
+    if (hasPlan) outcome.blame.subsetOf = assignment.subsetOf;
+    if (obs::currentTrace() != nullptr) {
+      outcome.blame.victimDistance = victimDistances(trial.graph, victim);
+    }
+  };
 
   if (spec.protocol == ProtocolKind::Agreement) {
     const double L =
@@ -169,9 +221,10 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
       planWalk = makeCoalitionWalkAdversary(spec.coalitionPlan, assignment, trial.graph,
                                             trial.byz, victim);
     }
-    const AgreementOutcome out =
+    AgreementOutcome out =
         runMajorityAgreement(trial.graph, trial.byz, L, aParams, trial.runRng, planWalk.get());
     TrialOutcome outcome;
+    outcome.blame = std::move(out.blame);
     outcome.quality.honestCount = out.honestCount;
     outcome.quality.decidedCount = out.honestCount;  // every honest node ends with a bit
     outcome.quality.fracDecided = out.honestCount > 0 ? 1.0 : 0.0;
@@ -180,6 +233,8 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
     outcome.totalBits = out.meter.totalBits();
     foldAgreementStage(outcome, out, n, L);
     planExtras(outcome, nullptr, out);
+    annotateBlame(outcome);
+    foldBlameExtras(outcome);
     return outcome;
   }
   if (spec.protocol == ProtocolKind::Pipeline) {
@@ -215,18 +270,26 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
     foldAgreementStage(outcome, out.agreement, n,
                        decided > 0 ? meanL / static_cast<double>(decided) : 0.0);
     planExtras(outcome, &out, out.agreement);
+    // Both stages' blame graphs fold into one trial graph — keyed sums, so
+    // the merge order is immaterial.
+    outcome.blame.merge(out.counting.blame);
+    outcome.blame.merge(out.agreement.blame);
+    annotateBlame(outcome);
+    foldBlameExtras(outcome);
     return outcome;
   }
 
   CountingResult result;
+  obs::BlameGraph blame;
   switch (spec.protocol) {
     case ProtocolKind::Beacon: {
       const std::unique_ptr<BeaconAdversary> beaconAdv = makeSpecBeaconAdversary();
       BeaconLimits limits = spec.beaconLimits;
       if (spec.shards > 0) limits.shards = spec.shards;
-      result = runBeaconCounting(trial.graph, trial.byz, *beaconAdv, spec.beaconParams, limits,
-                                 trial.runRng)
-                   .result;
+      BeaconOutcome bo = runBeaconCounting(trial.graph, trial.byz, *beaconAdv, spec.beaconParams,
+                                           limits, trial.runRng);
+      blame = std::move(bo.blame);
+      result = std::move(bo.result);
       break;
     }
     case ProtocolKind::Local: {
@@ -273,6 +336,8 @@ TrialOutcome runProtocolTrial(const ScenarioSpec& spec, const Graph& graph,
   outcome.totalMessages = result.meter.totalMessages();
   outcome.totalBits = result.meter.totalBits();
   outcome.resultFingerprint = fingerprint(result, n);
+  outcome.blame = std::move(blame);
+  if (!outcome.blame.empty()) annotateBlame(outcome);
   return outcome;
 }
 
@@ -395,7 +460,12 @@ ExperimentSummary ExperimentRunner::runWith(ThreadPool& pool, const std::string&
       }
     }
   });
-  for (std::uint32_t i = 0; i < width; ++i) sink->consume(*traces[i]);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    // Sampled trials carry their blame graph out with the trace, so the
+    // BZC_ATTRIB sink sees the same per-trial attribution the extras project.
+    traces[i]->blame = outcomes[i].blame;
+    sink->consume(*traces[i]);
+  }
 
   // Aggregation walks trials in index order, so the summary (and especially
   // combinedFingerprint) is independent of which worker ran which trial.

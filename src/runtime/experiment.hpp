@@ -27,6 +27,7 @@
 #include "counting/local/attacks.hpp"
 #include "counting/local/protocol.hpp"
 #include "graph/graph.hpp"
+#include "obs/provenance.hpp"
 #include "sim/byzantine.hpp"
 #include "support/rng.hpp"
 
@@ -90,7 +91,18 @@ enum AgreementExtraSlot : std::size_t {
   kAgreementBeaconForged = 10,   ///< counting-stage beacons the adversary authored
   kAgreementCoalitionSubsets = 11,  ///< subsets of the CoalitionPlan (0 = no plan)
   kAgreementCombinedScore = 12,  ///< combinedCoalitionScore around the victim
-  kAgreementExtraSlots = 13,
+  // Blame-graph projections (src/obs/provenance.hpp, DESIGN.md §14): scalar
+  // summaries of TrialOutcome::blame. Like every extra they stay outside
+  // fingerprint() — the blame graph is observational.
+  kAgreementWrongDecisions = 13,    ///< honest verdicts flipped by compromised samples
+  kAgreementBlameTotal = 14,        ///< attributed damage units (edge-count sum)
+  kAgreementBlameConcentration = 15,  ///< HHI over per-cause blame shares
+  kAgreementBlameTopShare = 16,     ///< top single offender's share of the blame
+  kAgreementBlameSubset0 = 17,      ///< blame attributed to coalition subset 0
+  kAgreementBlameSubset1 = 18,
+  kAgreementBlameSubset2 = 19,
+  kAgreementBlameSubset3 = 20,      ///< subsets >= 3 and unmapped causes pool here
+  kAgreementExtraSlots = 21,
 };
 
 /// Names for the slots above, aligned by index (bench JSON labelling).
@@ -186,6 +198,11 @@ struct TrialOutcome {
   std::uint64_t totalBits = 0;
   std::uint64_t resultFingerprint = 0;  ///< fingerprint() of the CountingResult
   std::vector<double> extra;            ///< caller-defined metrics, aggregated by slot
+  /// Causal damage attribution for the adversarial protocols (Beacon,
+  /// Agreement, Pipeline — incl. churn trials, which merge every recount's
+  /// graph plus the rejoin lineage). Collected unconditionally; exported only
+  /// when BZC_ATTRIB installs a sink. Never folded into resultFingerprint.
+  obs::BlameGraph blame;
 };
 
 /// Runs spec's protocol once on an explicit (graph, byz, stream) instead of a

@@ -34,6 +34,12 @@
 // serial path (same code, same object states, base RNG streams). recv hooks
 // with the legacy (NodeId, Round, span) signature still run serially at any S.
 //
+// Provenance tags (DESIGN.md §14) ride inside Message payloads: the engine
+// moves/copies payloads opaquely through the canonical merge and scatter, so
+// tags like WalkToken::taintNode or BeaconFrame::forgeNode arrive at the
+// receiver exactly as sent and never perturb ordering, metering, or RNG —
+// blame collection costs no simulated bits and no determinism caveats.
+//
 // A "window" is a bounded run of rounds (phase structures like Algorithm 2's
 // beacon/continue windows map onto it); `rounds == 0` means run until
 // quiescence or the engine-wide cap. Protocols that charge wall-clock for a

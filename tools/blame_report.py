@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""Damage-attribution reports over BZC_ATTRIB JSONL blame graphs (DESIGN.md §14).
+
+Usage:
+  blame_report.py ATTRIB.jsonl                  # per-kind / per-subset / top-k report
+  blame_report.py ATTRIB.jsonl --check          # reconcile edge sums vs AdversaryStats
+  blame_report.py ATTRIB.jsonl --top 20         # widen the offender list
+  blame_report.py ATTRIB.jsonl --diff OTHER     # compare canonical projections
+
+The attribution format is one JSON object per sampled trial:
+
+  {"type":"blame","scenario":S,"trial":N,
+   "edges":[{"kind":K,"subset":I,"cause":C,"victim":V,"count":N}, ...],
+   "totals":{"walk.flippedAnswers":F, ...},
+   "victimDist":[d0, d1, ...]}                  # BFS hops from the victim (optional)
+
+Edges are the canonical (sorted, deterministic) projection of the per-trial
+blame graph: Byzantine cause -> honest outcome, typed and counted. cause/victim
+are node ids, -1 = unattributed / graph-wide. subset is the CoalitionPlan
+subset of the cause (-1 without a plan). totals mirror the protocol-side
+AdversaryStats counters, which is what --check reconciles: every identity below
+must hold EXACTLY (the recorder and the stats counter increment at the same
+program point), so any drift is a provenance bug, not noise.
+
+  droppedQuery        == walk.droppedQueries
+  droppedAnswer       == walk.droppedAnswers
+  flippedAnswer       == walk.flippedAnswers
+  misroutedAnswer     == walk.misroutedAnswers
+  strayAnswer         == walk.strayAnswers
+  forgedAnswer        == walk.forgedAnswers
+  compromisedSample   == walk.compromisedSamples
+  beaconForged + relayTampered == beacon.beaconsForged
+  relayTampered       == beacon.relaysTampered
+  relaySuppressed     == beacon.relaysSuppressed
+  continueSpam        == beacon.continuesSpammed
+  continueSuppressed  == beacon.continuesSuppressed
+  blacklistedHonestId + blacklistedFakeId + beacon.untaintedInsertions
+                      == beacon.blacklistInsertions
+  rejoinLineage       == churn.byzRejoins
+
+Identities are checked only when their denominator keys are present (a plain
+Agreement run has no beacon.* totals, a churn-free run no churn.*).
+
+Exit status: 0 ok, 1 parse/reconciliation/diff failure.
+"""
+
+import argparse
+import collections
+import json
+import sys
+from pathlib import Path
+
+EDGE_KEYS = {"kind", "subset", "cause", "victim", "count"}
+
+# (description, [edge kinds], [total keys]): sum of kinds == sum of totals.
+IDENTITIES = [
+    ("droppedQuery == walk.droppedQueries", ["droppedQuery"], ["walk.droppedQueries"]),
+    ("droppedAnswer == walk.droppedAnswers", ["droppedAnswer"], ["walk.droppedAnswers"]),
+    ("flippedAnswer == walk.flippedAnswers", ["flippedAnswer"], ["walk.flippedAnswers"]),
+    ("misroutedAnswer == walk.misroutedAnswers", ["misroutedAnswer"],
+     ["walk.misroutedAnswers"]),
+    ("strayAnswer == walk.strayAnswers", ["strayAnswer"], ["walk.strayAnswers"]),
+    ("forgedAnswer == walk.forgedAnswers", ["forgedAnswer"], ["walk.forgedAnswers"]),
+    ("compromisedSample == walk.compromisedSamples", ["compromisedSample"],
+     ["walk.compromisedSamples"]),
+    ("beaconForged + relayTampered == beacon.beaconsForged",
+     ["beaconForged", "relayTampered"], ["beacon.beaconsForged"]),
+    ("relayTampered == beacon.relaysTampered", ["relayTampered"],
+     ["beacon.relaysTampered"]),
+    ("relaySuppressed == beacon.relaysSuppressed", ["relaySuppressed"],
+     ["beacon.relaysSuppressed"]),
+    ("continueSpam == beacon.continuesSpammed", ["continueSpam"],
+     ["beacon.continuesSpammed"]),
+    ("continueSuppressed == beacon.continuesSuppressed", ["continueSuppressed"],
+     ["beacon.continuesSuppressed"]),
+    ("blacklistedHonestId + blacklistedFakeId + untainted == beacon.blacklistInsertions",
+     ["blacklistedHonestId", "blacklistedFakeId"],
+     # untaintedInsertions is a denominator-side correction: move it across.
+     ["beacon.blacklistInsertions", "-beacon.untaintedInsertions"]),
+    ("rejoinLineage == churn.byzRejoins", ["rejoinLineage"], ["churn.byzRejoins"]),
+]
+
+
+def parse(path: Path):
+    """Yields blame records; raises ValueError on malformed lines."""
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"{path}:{lineno}: not JSON ({e})")
+        if obj.get("type") != "blame":
+            continue  # a shared sink file may interleave other record types
+        for key in ("scenario", "trial", "edges", "totals"):
+            if key not in obj:
+                raise ValueError(f"{path}:{lineno}: blame record missing {key!r}")
+        for e in obj["edges"]:
+            missing = EDGE_KEYS - e.keys()
+            if missing:
+                raise ValueError(f"{path}:{lineno}: edge missing {sorted(missing)}")
+        yield obj
+
+
+def kind_sums(edges):
+    sums = collections.Counter()
+    for e in edges:
+        sums[e["kind"]] += e["count"]
+    return sums
+
+
+def check(path: Path) -> list:
+    """Reconciles every applicable identity per trial. Returns problem strings."""
+    problems, trials = [], 0
+    for rec in parse(path):
+        trials += 1
+        tag = f"{rec['scenario']}#{rec['trial']}"
+        sums, totals = kind_sums(rec["edges"]), rec["totals"]
+        for desc, kinds, keys in IDENTITIES:
+            base = [k.lstrip("-") for k in keys]
+            if not any(k in totals for k in base):
+                continue  # that subsystem did not run in this trial
+            lhs = sum(sums.get(k, 0) for k in kinds)
+            rhs = sum(-totals.get(k[1:], 0) if k.startswith("-") else totals.get(k, 0)
+                      for k in keys)
+            if lhs != rhs:
+                problems.append(f"{tag}: {desc}: edges sum to {lhs}, stats say {rhs}")
+    if trials == 0:
+        problems.append(f"{path}: no blame records (BZC_ATTRIB unset, or no trials sampled)")
+    return problems
+
+
+def canonical(path: Path):
+    """[(scenario, trial), edges, totals] — the deterministic projection."""
+    return [((r["scenario"], r["trial"]), r["edges"], r["totals"]) for r in parse(path)]
+
+
+def diff(path_a: Path, path_b: Path) -> list:
+    a, b = canonical(path_a), canonical(path_b)
+    problems = []
+    if [t[0] for t in a] != [t[0] for t in b]:
+        return [f"trial sets differ: {[t[0] for t in a]} vs {[t[0] for t in b]}"]
+    for (key, ea, ta), (_, eb, tb) in zip(a, b):
+        tag = f"{key[0]}#{key[1]}"
+        if ta != tb:
+            problems.append(f"{tag}: totals differ: {ta} vs {tb}")
+        if ea != eb:
+            for i, (x, y) in enumerate(zip(ea, eb)):
+                if x != y:
+                    problems.append(f"{tag}: first edge divergence at {i}:\n  a: {x}\n  b: {y}")
+                    break
+            else:
+                problems.append(f"{tag}: {len(ea)} vs {len(eb)} edges")
+    return problems
+
+
+def report(path: Path, top: int):
+    records = list(parse(path))
+    print(f"# {path}: {len(records)} blame graph(s)\n")
+
+    # Aggregate across trials (merge = keyed sum, same as BlameGraph::merge).
+    all_edges = [e for r in records for e in r["edges"]]
+    by_kind = kind_sums(all_edges)
+    attributed = sum(e["count"] for e in all_edges if e["cause"] >= 0)
+
+    print("## damage by kind")
+    print(f"  {'kind':24s} {'edges':>8} {'units':>10}")
+    for kind in sorted(by_kind):
+        rows = sum(1 for e in all_edges if e["kind"] == kind)
+        print(f"  {kind:24s} {rows:>8} {by_kind[kind]:>10}")
+    print(f"  {'TOTAL':24s} {len(all_edges):>8} {sum(by_kind.values()):>10}"
+          f"   ({attributed} attributed to a cause)\n")
+
+    by_subset = collections.Counter()
+    by_subset_kind = collections.defaultdict(collections.Counter)
+    for e in all_edges:
+        if e["cause"] < 0:
+            continue
+        by_subset[e["subset"]] += e["count"]
+        by_subset_kind[e["subset"]][e["kind"]] += e["count"]
+    if by_subset:
+        print("## attributed damage by coalition subset (-1 = no plan / unmapped)")
+        for subset in sorted(by_subset):
+            kinds = ", ".join(f"{k}={v}" for k, v in by_subset_kind[subset].most_common(4))
+            print(f"  subset {subset:>2}: {by_subset[subset]:>10}   ({kinds})")
+        print()
+
+    by_cause = collections.Counter()
+    for e in all_edges:
+        if e["cause"] >= 0:
+            by_cause[e["cause"]] += e["count"]
+    if by_cause:
+        total = sum(by_cause.values())
+        hhi = sum((v / total) ** 2 for v in by_cause.values())
+        print(f"## top {top} offenders ({len(by_cause)} distinct causes, "
+              f"concentration HHI = {hhi:.4f})")
+        print(f"  {'cause':>8} {'units':>10} {'share':>8}")
+        for cause, units in by_cause.most_common(top):
+            print(f"  {cause:>8} {units:>10} {units / total:>7.1%}")
+        print()
+
+    # Blame concentration vs distance-to-victim: how sharply the damage focuses
+    # around the victim, per hop shell. Needs victimDist (sampled trials only).
+    shells = collections.Counter()
+    dist_known = 0
+    for r in records:
+        dist = r.get("victimDist")
+        if not dist:
+            continue
+        for e in r["edges"]:
+            cause = e["cause"]
+            if cause < 0 or cause >= len(dist) or dist[cause] == 0xFFFF:
+                continue
+            shells[dist[cause]] += e["count"]
+            dist_known += e["count"]
+    if shells:
+        print("## attributed damage vs cause's distance to the victim")
+        print(f"  {'hops':>5} {'units':>10} {'share':>8}  cumulative")
+        cum = 0
+        for hops in sorted(shells):
+            cum += shells[hops]
+            print(f"  {hops:>5} {shells[hops]:>10} {shells[hops] / dist_known:>7.1%}"
+                  f"  {cum / dist_known:>7.1%}")
+        print()
+
+    lineage = [(e["cause"], e["victim"]) for e in all_edges if e["kind"] == "rejoinLineage"]
+    if lineage:
+        print(f"## churn whitewashing lineage ({len(lineage)} rejoins)")
+        for old, fresh in lineage[:top]:
+            print(f"  byz {old if old >= 0 else '?':>8} -> fresh identity {fresh}")
+        print()
+
+    totals = collections.Counter()
+    for r in records:
+        totals.update(r["totals"])
+    if totals:
+        print("## protocol-side denominators (AdversaryStats mirrors)")
+        for name in sorted(totals):
+            print(f"  {name:32s} {totals[name]:>10}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("attrib", type=Path)
+    ap.add_argument("--check", action="store_true",
+                    help="reconcile edge sums against the AdversaryStats totals exactly")
+    ap.add_argument("--diff", type=Path, metavar="OTHER",
+                    help="compare canonical projections of two attribution files")
+    ap.add_argument("--top", type=int, default=10,
+                    help="rows in the offender list (default 10)")
+    args = ap.parse_args()
+
+    if not args.attrib.exists():
+        print(f"error: {args.attrib} not found", file=sys.stderr)
+        return 1
+
+    if args.check:
+        problems = check(args.attrib)
+        if problems:
+            for p in problems:
+                print(f"MISMATCH: {p}", file=sys.stderr)
+            return 1
+        n = len(list(parse(args.attrib)))
+        print(f"OK: {args.attrib} — {n} blame graph(s), every attribution identity "
+              f"reconciles exactly")
+        return 0
+
+    if args.diff is not None:
+        problems = diff(args.attrib, args.diff)
+        if problems:
+            for p in problems:
+                print(f"DIFF: {p}", file=sys.stderr)
+            return 1
+        print(f"OK: canonical blame projections of {args.attrib} and {args.diff} "
+              f"are identical")
+        return 0
+
+    report(args.attrib, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

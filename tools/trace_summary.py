@@ -4,8 +4,18 @@
 Usage:
   trace_summary.py TRACE.jsonl                 # per-trial summary + round table
   trace_summary.py TRACE.jsonl --validate      # schema + reconciliation checks
+  trace_summary.py TRACE.jsonl --validate-both OTHER   # validate two files, no diff
   trace_summary.py TRACE.jsonl --diff OTHER    # compare deterministic projections
   trace_summary.py TRACE.jsonl --rounds 40     # widen the per-round table
+
+How many trials appear in a trace: the runner samples the first W trials of
+each scenario, where W is ScenarioSpec::traceTrials when set (> 0), else the
+process-wide BZC_TRACE_TRIALS (default 1). A spec-level width therefore wins
+over the environment for that scenario only — two traces of the same binary
+can legitimately disagree on trial counts if one run set BZC_TRACE_TRIALS and
+the scenario pins its own width. --diff requires identical trial sets; use
+--validate-both when you only need both files to be well-formed (e.g. traces
+taken at different widths, where a projection diff is meaningless).
 
 The trace format is one JSON object per line. Per sampled trial:
 
@@ -207,8 +217,13 @@ def main() -> int:
     ap.add_argument("trace", type=Path)
     ap.add_argument("--validate", action="store_true",
                     help="schema + end-line reconciliation checks only")
+    ap.add_argument("--validate-both", type=Path, metavar="OTHER",
+                    help="validate TRACE and OTHER without diffing them (use when "
+                         "trial widths differ: BZC_TRACE_TRIALS vs a scenario's "
+                         "own traceTrials)")
     ap.add_argument("--diff", type=Path, metavar="OTHER",
-                    help="compare deterministic projections of two traces")
+                    help="compare deterministic projections of two traces (both "
+                         "are validated first; trial sets must match exactly)")
     ap.add_argument("--rounds", type=int, default=20,
                     help="rows in the per-round table (default 20)")
     args = ap.parse_args()
@@ -227,6 +242,21 @@ def main() -> int:
         total = sum(end["events"] for _, _, end in trials)
         print(f"OK: {args.trace} — {len(trials)} trial(s), {total} events, "
               f"schema and totals reconcile")
+        return 0
+
+    if args.validate_both is not None:
+        problems = []
+        for path in (args.trace, args.validate_both):
+            if not path.exists():
+                problems.append(f"{path} not found")
+            else:
+                problems += validate(path)
+        if problems:
+            for p in problems:
+                print(f"INVALID: {p}", file=sys.stderr)
+            return 1
+        print(f"OK: {args.trace} and {args.validate_both} both validate "
+              f"(projections not compared)")
         return 0
 
     if args.diff is not None:
